@@ -1,0 +1,97 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+Not a paper figure — these isolate the contribution of substrate
+modelling choices: router pipeline depth, virtual networks (control vs
+data separation), and the lock spin interval.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.config import LockSpinConfig, NocConfig
+
+
+def contended_run(cfg):
+    wl = single_lock_workload(
+        num_threads=64, home_node=53, cs_per_thread=2,
+        cs_cycles=100, parallel_cycles=300,
+    )
+    return ManyCoreSystem(cfg, wl, primitive="tas").run(max_cycles=30_000_000)
+
+
+def test_ablation_router_pipeline_depth(benchmark):
+    """Deeper router pipelines stretch every round trip (decision #1)."""
+
+    def run():
+        out = {}
+        for depth in (1, 2, 4):
+            cfg = SystemConfig(noc=NocConfig(router_pipeline_cycles=depth))
+            out[depth] = contended_run(cfg).roi_cycles
+        return out
+
+    rois = run_once(benchmark, run)
+    print(f"\npipeline depth -> ROI: {rois}")
+    assert rois[1] < rois[2] < rois[4]
+
+
+def test_ablation_virtual_networks(benchmark):
+    """Without VN separation, control queues behind data (decision #5):
+    coherence round trips inflate."""
+
+    def run():
+        out = {}
+        for vn in (True, False):
+            cfg = SystemConfig(noc=NocConfig(virtual_networks=vn))
+            result = contended_run(cfg)
+            out[vn] = result.coherence.mean_inv_rtt
+        return out
+
+    rtts = run_once(benchmark, run)
+    print(f"\nvirtual networks -> mean Inv-Ack RTT: {rtts}")
+    assert rtts[False] > rtts[True]
+
+
+def test_ablation_spin_interval(benchmark):
+    """The retry interval paces raw spinning: longer intervals mean
+    fewer lock transactions reach the home node (ROI moves
+    nonmonotonically — fewer retries also mean less contention)."""
+
+    def run():
+        out = {}
+        for interval in (10, 40, 160):
+            cfg = SystemConfig(spin=LockSpinConfig(spin_interval=interval))
+            result = contended_run(cfg)
+            out[interval] = (
+                result.roi_cycles, len(result.coherence.lock_txns)
+            )
+        return out
+
+    data = run_once(benchmark, run)
+    print(f"\nspin interval -> (ROI, lock txns): {data}")
+    # envelope: all three pacing settings complete the same work with a
+    # comparable number of lock transactions (the interval's first-order
+    # effect is pacing, not correctness; the ROI/txn trade-off is noisy)
+    counts = [txns for _roi, txns in data.values()]
+    assert all(c > 0 for c in counts)
+    assert max(counts) < 2 * min(counts)
+
+
+def test_ablation_barriers_disabled_equals_normal_router(benchmark):
+    """iNPG with a zero-size deployment is exactly the baseline
+    (decision #2: disabling barriers reduces to normal routers)."""
+
+    def run():
+        base = SystemConfig().with_mechanism("original")
+        zero = replace(
+            SystemConfig().with_mechanism("inpg"),
+            inpg=replace(
+                SystemConfig().inpg, enabled=True, num_big_routers=0
+            ),
+        )
+        return contended_run(base).roi_cycles, contended_run(zero).roi_cycles
+
+    baseline, zero_deploy = run_once(benchmark, run)
+    print(f"\nbaseline={baseline} zero-big-router-iNPG={zero_deploy}")
+    assert baseline == zero_deploy

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (router synthesis accounting)."""
+
+from conftest import run_once
+
+from repro.experiments import fig07_synthesis
+from repro.synthesis import (
+    BIG_ROUTER_GATES,
+    NORMAL_ROUTER_GATES,
+    packet_generator_power_overhead,
+)
+
+
+def test_fig07_synthesis(benchmark):
+    result = run_once(benchmark, fig07_synthesis.run)
+    print("\n" + result.render())
+    # paper constants: 19.9K vs 22.4K gates, 2.5K-gate generator
+    assert result.normal.gates == NORMAL_ROUTER_GATES == 19_900
+    assert result.big.gates == BIG_ROUTER_GATES == 22_400
+    assert result.generator_gates == 2_500
+    # generator adds 9.9% dynamic power over a normal router
+    assert abs(packet_generator_power_overhead() - 0.099) < 0.005
+    # big tile 716.1 mW vs normal tile 707.7 mW
+    assert abs(result.chip["big_tile_power_mw"] - 716.1) < 0.1
+    assert abs(result.chip["normal_tile_power_mw"] - 707.7) < 0.1

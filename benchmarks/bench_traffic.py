@@ -1,0 +1,46 @@
+"""Benchmark: NoC fabric characterization (latency-vs-load curves).
+
+Not a paper figure — characterizes the substrate the coherence protocol
+runs on: the latency/load curve per traffic pattern, and the hotspot
+behaviour that shapes home-node congestion in the lock experiments.
+"""
+
+from conftest import run_once
+
+from repro.config import NocConfig
+from repro.noc.traffic import latency_load_curve, run_packet_traffic
+
+
+def test_uniform_latency_load_curve(benchmark):
+    def run():
+        return latency_load_curve(
+            NocConfig(width=8, height=8), "uniform",
+            rates=(0.01, 0.05, 0.10), duration=1_000, size_flits=4,
+        )
+
+    curve = run_once(benchmark, run)
+    print("\nrate -> mean latency")
+    for point in curve:
+        print(f"  {point.injection_rate:.2f} -> {point.mean_latency:.1f} "
+              f"({point.delivered}/{point.offered} delivered)")
+    latencies = [p.mean_latency for p in curve]
+    assert latencies == sorted(latencies)
+    assert all(p.accepted_fraction == 1.0 for p in curve)
+
+
+def test_hotspot_congestion(benchmark):
+    """Hotspot traffic (everyone to the home node) is the lock pattern;
+    its latency must exceed uniform traffic at the same rate."""
+
+    def run():
+        cfg = NocConfig(width=8, height=8)
+        uni = run_packet_traffic(cfg, "uniform", 0.03, duration=800,
+                                 size_flits=4)
+        hot = run_packet_traffic(cfg, "hotspot:53", 0.03, duration=800,
+                                 size_flits=4)
+        return uni, hot
+
+    uni, hot = run_once(benchmark, run)
+    print(f"\nuniform: {uni.mean_latency:.1f}  "
+          f"hotspot(53): {hot.mean_latency:.1f}")
+    assert hot.mean_latency > uni.mean_latency

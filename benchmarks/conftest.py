@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the same rows the paper reports.  By default a representative subset of
+benchmarks (two per Figure 8 group) and a reduced workload scale keep
+the suite fast; set ``REPRO_FULL=1`` to sweep all 24 programs at full
+scale, as the paper does.
+"""
+
+import os
+
+import pytest
+
+
+def full() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def sweep_quick() -> bool:
+    """False when REPRO_FULL=1: sweep all 24 programs."""
+    return not full()
+
+
+@pytest.fixture(scope="session")
+def sweep_scale() -> float:
+    """Workload scale for sweeps (1.0 when REPRO_FULL=1)."""
+    return 1.0 if full() else 0.5
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Build a custom workload against the public API.
+
+Models a pipelined application: a hot dispatch lock that every thread
+takes briefly, plus per-stage locks shared by groups of 16 threads —
+then measures how much of the runtime each lock's coherence traffic
+costs and what iNPG recovers.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import ManyCoreSystem, SystemConfig, Workload
+from repro.workloads import WorkItem
+
+
+def build_pipeline_workload(num_threads: int = 64) -> Workload:
+    """One hot global lock (index 0) + four per-stage locks (1..4)."""
+    items = []
+    for thread in range(num_threads):
+        stage_lock = 1 + thread // 16
+        sequence = []
+        for round_no in range(3):
+            # dispatch: short CS on the global lock
+            sequence.append(
+                WorkItem(parallel_cycles=150, lock_index=0, cs_cycles=40)
+            )
+            # stage work: longer CS on the stage's lock
+            sequence.append(
+                WorkItem(parallel_cycles=400, lock_index=stage_lock,
+                         cs_cycles=120)
+            )
+        items.append(sequence)
+    return Workload(
+        benchmark="pipeline-example",
+        num_threads=num_threads,
+        num_locks=5,
+        lock_homes=[27, 9, 14, 49, 54],  # dispatch lock central, stages spread
+        items=items,
+    )
+
+
+def main() -> None:
+    workload = build_pipeline_workload()
+    base = SystemConfig()
+    results = {}
+    for mechanism in ("original", "inpg"):
+        cfg = base.with_mechanism(mechanism)
+        results[mechanism] = ManyCoreSystem(
+            cfg, workload, primitive="qsl"
+        ).run()
+    orig, inpg = results["original"], results["inpg"]
+    print("Pipelined workload: 1 hot dispatch lock + 4 stage locks\n")
+    print(f"{'':<22}{'Original':>12}{'iNPG':>12}")
+    rows = [
+        ("ROI cycles", orig.roi_cycles, inpg.roi_cycles),
+        ("COH cycles (total)", orig.total_coh, inpg.total_coh),
+        ("CSE cycles (total)", orig.total_cse, inpg.total_cse),
+        ("lock transactions", len(orig.coherence.lock_txns),
+         len(inpg.coherence.lock_txns)),
+        ("mean Inv-Ack RTT", round(orig.coherence.mean_inv_rtt, 1),
+         round(inpg.coherence.mean_inv_rtt, 1)),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<22}{a:>12,}{b:>12,}")
+    speedup = orig.roi_cycles / inpg.roi_cycles
+    print(f"\niNPG speedup on this workload: {speedup:.2f}x")
+    print(
+        "Per-lock LCO comes from the per-transaction records:\n"
+        "result.coherence.lock_txns -> (addr, winner, duration, invs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare the five locking primitives under contention (paper Section 2).
+
+All 64 threads hammer one lock hosted at core (5,6) — the paper's
+Figure 10 microbenchmark scenario — once per primitive, with and without
+iNPG.  Prints per-primitive ROI, LCO share, and coherence traffic so the
+Figure 2 / Figure 13 orderings are visible from a single script.
+
+Run:  python examples/lock_comparison.py
+"""
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.locks import PRIMITIVES
+
+LABELS = {"tas": "TAS", "ticket": "TTL", "abql": "ABQL",
+          "mcs": "MCS", "qsl": "QSL"}
+
+
+def main() -> None:
+    base = SystemConfig()
+    home = base.noc.node_at(5, 6)
+    workload = single_lock_workload(
+        num_threads=64, home_node=home,
+        cs_per_thread=2, cs_cycles=100, parallel_cycles=300,
+    )
+    print("64 threads competing for one lock homed at core (5,6):\n")
+    header = (
+        f"{'primitive':<10} {'ROI (orig)':>11} {'ROI (iNPG)':>11} "
+        f"{'reduction':>10} {'LCO %':>7} {'lock txns':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for primitive in PRIMITIVES:
+        orig = ManyCoreSystem(
+            base.with_mechanism("original"), workload, primitive=primitive
+        ).run()
+        inpg = ManyCoreSystem(
+            base.with_mechanism("inpg"), workload, primitive=primitive
+        ).run()
+        reduction = 1.0 - inpg.roi_cycles / orig.roi_cycles
+        print(
+            f"{LABELS[primitive]:<10} {orig.roi_cycles:>11,} "
+            f"{inpg.roi_cycles:>11,} {100 * reduction:>9.1f}% "
+            f"{100 * orig.lco_fraction:>6.1f} "
+            f"{len(orig.coherence.lock_txns):>10}"
+        )
+    print(
+        "\nTAS generates an exclusive-access storm on every release, so it\n"
+        "has the largest lock coherence overhead and gains most from iNPG;\n"
+        "MCS spins on per-core queue nodes and gains least (Figure 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""iNPG: Accelerating Critical Section Access with In-Network Packet
+Generation for NoC Based Many-Cores — a full Python reproduction of
+Yao & Lu, HPCA 2018.
+
+Public API
+==========
+
+* :class:`SystemConfig` — platform configuration (Table 1 defaults).
+* :class:`ManyCoreSystem` / :func:`run_benchmark` — build and run one
+  simulated ROI, returning a :class:`RunResult`.
+* :func:`generate_workload` — synthetic PARSEC / SPEC OMP2012 workloads.
+* ``repro.locks`` — TAS, ticket, ABQL, MCS and queue spin-lock primitives.
+* ``repro.inpg`` — big routers and the locking barrier table.
+* ``repro.experiments`` — one module per paper table/figure.
+"""
+
+from .config import MECHANISMS, SystemConfig
+from .stats.metrics import RunResult, ThreadMetrics
+from .system import DeadlockError, ManyCoreSystem, run_benchmark
+from .workloads.generator import (
+    Workload,
+    generate_workload,
+    single_lock_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeadlockError",
+    "MECHANISMS",
+    "ManyCoreSystem",
+    "RunResult",
+    "SystemConfig",
+    "ThreadMetrics",
+    "Workload",
+    "__version__",
+    "generate_workload",
+    "run_benchmark",
+    "single_lock_workload",
+]

@@ -1,0 +1,15 @@
+"""Closed-form cross-check models (Amdahl + critical sections, queueing)."""
+
+from .model import (
+    LockServiceModel,
+    amdahl_speedup,
+    eyerman_eeckhout_speedup,
+    predicted_inpg_gain,
+)
+
+__all__ = [
+    "LockServiceModel",
+    "amdahl_speedup",
+    "eyerman_eeckhout_speedup",
+    "predicted_inpg_gain",
+]

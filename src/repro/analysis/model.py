@@ -1,0 +1,130 @@
+"""Analytical critical-section performance models.
+
+Two closed-form models used as cross-checks on the simulator:
+
+* :func:`eyerman_eeckhout_speedup` — the Amdahl's-law extension with
+  critical sections from Eyerman & Eeckhout (ISCA 2010), cited in the
+  paper's related work: with a fraction ``f_seq`` sequential, ``f_cs``
+  inside critical sections (entered with probability of contention
+  ``p_ctn``), the achievable speedup on ``n`` cores is bounded by the
+  serialization of contended critical sections.
+
+* :class:`LockServiceModel` — an M/D/1-style queueing estimate for one
+  lock: given the per-acquisition service time (CS body + handoff
+  latency) and the per-thread request rate, estimates utilization,
+  waiting time, and the COH share the simulator should exhibit — the
+  calibration tool behind the workload profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def amdahl_speedup(f_parallel: float, n: int) -> float:
+    """Classic Amdahl's law."""
+    if not 0.0 <= f_parallel <= 1.0:
+        raise ValueError("parallel fraction must be in [0, 1]")
+    if n < 1:
+        raise ValueError("need at least one core")
+    return 1.0 / ((1.0 - f_parallel) + f_parallel / n)
+
+
+def eyerman_eeckhout_speedup(
+    f_seq: float, f_par_ncs: float, f_cs: float, p_ctn: float, n: int
+) -> float:
+    """Speedup with critical sections (Eyerman & Eeckhout, ISCA'10).
+
+    ``f_seq`` + ``f_par_ncs`` + ``f_cs`` must sum to 1: sequential code,
+    parallel non-critical-section code, and critical-section code.  With
+    contention probability ``p_ctn``, the critical-section term behaves
+    sequentially with probability ``p_ctn`` and in parallel otherwise:
+
+        T(n) = f_seq + f_par_ncs / n + f_cs * (p_ctn + (1 - p_ctn) / n)
+    """
+    total = f_seq + f_par_ncs + f_cs
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {total}")
+    if not 0.0 <= p_ctn <= 1.0:
+        raise ValueError("contention probability must be in [0, 1]")
+    if n < 1:
+        raise ValueError("need at least one core")
+    t_n = f_seq + f_par_ncs / n + f_cs * (p_ctn + (1.0 - p_ctn) / n)
+    return 1.0 / t_n
+
+
+@dataclass(frozen=True)
+class LockServiceModel:
+    """Single-lock queueing estimate.
+
+    ``service_cycles``: lock hold time per acquisition including the
+    handoff (CS body + release + grant latency).
+    ``think_cycles``: per-thread time between releasing and re-requesting
+    (the parallel segment).
+    ``threads``: competing threads sharing the lock.
+    """
+
+    service_cycles: float
+    think_cycles: float
+    threads: int
+
+    @property
+    def demand(self) -> float:
+        """Offered load: requested service time per cycle (can exceed 1)."""
+        cycle_per_thread = self.service_cycles + self.think_cycles
+        return self.threads * self.service_cycles / cycle_per_thread
+
+    @property
+    def utilization(self) -> float:
+        """Actual lock utilization (saturates at 1)."""
+        return min(1.0, self.demand)
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.demand >= 1.0
+
+    def mean_wait_cycles(self) -> float:
+        """Mean time a thread waits to acquire (machine-repairman flavour).
+
+        Below saturation, an M/D/1 approximation; at or beyond
+        saturation, the wait grows to the full queue drain time:
+        (threads - 1) x service on average at steady state.
+        """
+        if self.is_saturated:
+            return (self.threads - 1) * self.service_cycles / 2.0 + (
+                self.demand - 1.0
+            ) * self.threads * self.service_cycles / 2.0
+        rho = self.demand
+        return rho * self.service_cycles / (2.0 * (1.0 - rho))
+
+    def coh_fraction(self) -> float:
+        """Predicted COH share of a thread's cycle time."""
+        wait = self.mean_wait_cycles()
+        total = self.think_cycles + wait + self.service_cycles
+        return wait / total
+
+    def throughput_cs_per_kcycle(self) -> float:
+        """Critical sections completed per 1000 cycles (all threads)."""
+        if self.is_saturated:
+            return 1000.0 / self.service_cycles
+        per_thread_cycle = (
+            self.think_cycles + self.mean_wait_cycles() + self.service_cycles
+        )
+        return 1000.0 * self.threads / per_thread_cycle
+
+
+def predicted_inpg_gain(
+    baseline_lco_fraction: float, rtt_reduction: float
+) -> float:
+    """First-order ROI reduction estimate for iNPG.
+
+    If LCO is ``baseline_lco_fraction`` of the runtime and iNPG cuts the
+    Inv-Ack round trips by ``rtt_reduction`` (0..1), the runtime shrinks
+    by about their product — the paper's Figure 2 -> Figure 12 logic.
+    """
+    if not 0.0 <= baseline_lco_fraction <= 1.0:
+        raise ValueError("LCO fraction must be in [0, 1]")
+    if not 0.0 <= rtt_reduction <= 1.0:
+        raise ValueError("RTT reduction must be in [0, 1]")
+    return baseline_lco_fraction * rtt_reduction

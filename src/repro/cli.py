@@ -1,0 +1,94 @@
+"""``inpg-sim``: run one simulation from the command line.
+
+Examples::
+
+    inpg-sim freqmine                         # Original, QSL
+    inpg-sim kdtree --mechanism inpg --primitive tas
+    inpg-sim nab --mechanism inpg+ocor --json
+    inpg-sim microbench --threads 64 --home 53 --gantt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .config import MECHANISMS, SystemConfig
+from .locks.factory import PRIMITIVES, canonical_primitive
+from .stats.export import render_gantt, run_result_to_dict
+from .system import ManyCoreSystem, run_benchmark
+from .workloads.generator import single_lock_workload
+from .workloads.profiles import ALL_PROFILES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="inpg-sim",
+        description="Simulate one benchmark on the iNPG platform.",
+    )
+    parser.add_argument(
+        "benchmark",
+        help="benchmark name (see --list), or 'microbench' for the "
+             "single-lock all-compete scenario",
+    )
+    parser.add_argument("--mechanism", default="original",
+                        choices=list(MECHANISMS))
+    parser.add_argument("--primitive", default="qsl",
+                        help=f"one of {PRIMITIVES} (or paper alias TTL)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--threads", type=int, default=64,
+                        help="microbench: competing threads")
+    parser.add_argument("--home", type=int, default=53,
+                        help="microbench: lock home node")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full result as JSON")
+    parser.add_argument("--gantt", action="store_true",
+                        help="render a Figure 9-style phase timeline")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmark names and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    if argv and "--list" in argv or argv is None and "--list" in sys.argv:
+        for profile in ALL_PROFILES:
+            print(f"{profile.name:<16} ({profile.suite}, "
+                  f"group-relevant short name: {profile.short_name})")
+        return 0
+    args = parser.parse_args(argv)
+    primitive = canonical_primitive(args.primitive)
+    if args.benchmark == "microbench":
+        cfg = SystemConfig().with_mechanism(args.mechanism)
+        workload = single_lock_workload(
+            num_threads=args.threads, home_node=args.home,
+        )
+        result = ManyCoreSystem(cfg, workload, primitive=primitive).run()
+    else:
+        result = run_benchmark(
+            args.benchmark,
+            mechanism=args.mechanism,
+            primitive=primitive,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    if args.json:
+        print(json.dumps(run_result_to_dict(result), indent=2))
+    else:
+        summary = result.summary()
+        print(f"{args.benchmark} [{args.mechanism}/{primitive}]")
+        for key, value in summary.items():
+            print(f"  {key:<18} {value:,.2f}")
+    if args.gantt:
+        threads = [t.thread for t in result.threads[:8]]
+        window = (0, min(30_000, result.roi_cycles))
+        print()
+        print(render_gantt(result.timeline, threads, window=window))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Directory-based MOESI cache coherence (the paper's Figure 4 protocol)."""
+
+from .directory import DirectoryController, DirEntry, Transaction
+from .l1cache import L1Cache
+from .memsystem import MemorySystem
+from .messages import CoherenceMessage, MessageType, next_txn_id
+from .states import L1State
+
+__all__ = [
+    "CoherenceMessage",
+    "DirEntry",
+    "DirectoryController",
+    "L1Cache",
+    "L1State",
+    "MemorySystem",
+    "MessageType",
+    "Transaction",
+    "next_txn_id",
+]

@@ -1,0 +1,161 @@
+"""Online coherence protocol checker.
+
+Attach a :class:`ProtocolChecker` to a :class:`MemorySystem` to validate
+the protocol's global invariants *while the simulation runs*:
+
+* **SWMR** — at most one core holds a writable (M/E) copy of any block,
+  and never concurrently with shared copies;
+* **single owner** — at most one core in an owning state (M/E/O);
+* **tracked copies** — every Shared copy belongs to a directory-listed
+  sharer, every owning copy to the directory's owner (checked at
+  quiescent points: transaction boundaries);
+* **commit ordering** — writes to a block are totally ordered and every
+  committed RMW observed the immediately preceding committed value.
+
+The checker samples on every directory transaction close (Unblock) plus
+an optional periodic timer.  It is pure observation — no protocol state
+is mutated — and costs O(cores) per sample, so tests enable it freely;
+production sweeps leave it off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..sim import Component, Simulator
+from .states import L1State
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .memsystem import MemorySystem
+
+
+class ProtocolViolation(AssertionError):
+    """A coherence invariant failed during simulation."""
+
+
+@dataclass
+class CheckerReport:
+    samples: int = 0
+    transactions_observed: int = 0
+    writes_observed: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+class ProtocolChecker(Component):
+    """Observes a memory system and validates coherence invariants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        memsys: "MemorySystem",
+        period: Optional[int] = None,
+        strict: bool = True,
+    ):
+        super().__init__(sim, "checker")
+        self.memsys = memsys
+        self.strict = strict
+        self.report = CheckerReport()
+        self._last_committed: Dict[int, int] = {}
+        self._wrap_apply_rmw()
+        self._wrap_unblock()
+        if period is not None:
+            self._arm_periodic(period)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _wrap_apply_rmw(self) -> None:
+        original = self.memsys.apply_rmw
+
+        def checked(addr: int, op):
+            before = self.memsys.read(addr)
+            expected = self._last_committed.get(addr)
+            if expected is not None and before != expected:
+                self._flag(
+                    f"write ordering broken at {addr:#x}: committed value "
+                    f"{before} != last observed commit {expected}"
+                )
+            result = original(addr, op)
+            self._last_committed[addr] = self.memsys.read(addr)
+            self.report.writes_observed += 1
+            return result
+
+        self.memsys.apply_rmw = checked  # type: ignore[method-assign]
+
+    def _wrap_unblock(self) -> None:
+        for directory in self.memsys.dirs.values():
+            original = directory._on_unblock
+
+            def checked(msg, _original=original, _dir=directory):
+                _original(msg)
+                self.report.transactions_observed += 1
+                self.check_block(msg.addr)
+
+            directory._on_unblock = checked  # type: ignore[method-assign]
+
+    def _arm_periodic(self, period: int) -> None:
+        def tick() -> None:
+            self.check_all_known()
+            self.after(period, tick)
+
+        self.after(period, tick)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check_block(self, addr: int) -> None:
+        """Validate SWMR/ownership/tracking for one block, now."""
+        self.report.samples += 1
+        writable, owners, shared = [], [], []
+        for core, l1 in self.memsys.l1s.items():
+            state = l1.state_of(addr)
+            if state.can_write:
+                writable.append(core)
+            if state.owns_data:
+                owners.append(core)
+            if state is L1State.SHARED:
+                shared.append(core)
+        if len(writable) > 1:
+            self._flag(f"SWMR violated at {addr:#x}: writers {writable}")
+        if writable and shared:
+            # M/E concurrent with S is incoherent; transient windows are
+            # possible while invalidations are in flight, so only flag
+            # when the directory is not mid-transaction on this block.
+            ent = self.memsys.dirs[self.memsys.home_of(addr)].entry(addr)
+            if not ent.busy:
+                self._flag(
+                    f"writable+shared at {addr:#x}: W={writable} S={shared}"
+                )
+        if len(owners) > 1:
+            self._flag(f"multiple owners at {addr:#x}: {owners}")
+
+    def check_all_known(self) -> None:
+        for addr in list(self._last_committed):
+            self.check_block(addr)
+
+    def check_tracked_copies(self) -> None:
+        """At quiescence: every valid copy is directory-tracked."""
+        for addr in list(self._last_committed):
+            home = self.memsys.home_of(addr)
+            ent = self.memsys.dirs[home].entry(addr)
+            for core, l1 in self.memsys.l1s.items():
+                state = l1.state_of(addr)
+                if state is L1State.SHARED and core not in ent.sharers:
+                    self._flag(
+                        f"untracked shared copy at {addr:#x} core {core}"
+                    )
+                if state.owns_data and ent.owner != core:
+                    self._flag(
+                        f"untracked owner at {addr:#x}: core {core} holds "
+                        f"{state.value}, directory says {ent.owner}"
+                    )
+
+    def _flag(self, message: str) -> None:
+        self.report.violations.append(f"[cycle {self.now}] {message}")
+        if self.strict:
+            raise ProtocolViolation(self.report.violations[-1])

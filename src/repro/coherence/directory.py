@@ -1,0 +1,442 @@
+"""Directory controller at each home (shared L2 bank) node.
+
+Implements the home-node side of the paper's Figure 4 protocol walk-through:
+
+* **GetS** — if a core owns the block, forward the request to it (FwdGetS,
+  owner degrades M/E -> O and supplies data); otherwise the home supplies
+  data.  The requester is recorded as a sharer.
+* **GetX** — transactions on a block are serialized by a busy bit with a
+  request queue (losing GetX requests are, equivalently to the paper's
+  "forwarded to the winner", queued and served in turn by the then-current
+  owner via FwdGetX).  Starting a transaction, the home invalidates every
+  sharer (InvAcks go straight to the winner), transfers data from the old
+  owner (FwdGetX) or supplies it itself, and tells the winner which acks
+  to collect (AckCount).  The winner's Unblock closes the transaction.
+* **early InvAck** (iNPG) — an ack forwarded by a big router for an early
+  invalidation it generated.  The home prunes the acked core from the
+  sharer list; if a transaction is in flight and still waiting on that
+  core, the ack is relayed to the winner (Section 3.3: "the big router
+  then forwards ... the acknowledgements ... to the home node, which are
+  in turn forwarded by the home node to the winning thread").
+
+With OCOR enabled, the queued GetX requests are ordered by the priority
+their packets carry (remaining-times-of-retry mapping) instead of FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..sim import Component, Simulator
+from .messages import CoherenceMessage, MessageType, next_txn_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .memsystem import MemorySystem
+
+
+@dataclass
+class Transaction:
+    """An in-flight exclusive-ownership transfer."""
+
+    txn_id: int
+    addr: int
+    winner: int
+    start: int
+    expected: Set[int]
+    is_atomic: bool
+    forwarded_losers: List[int] = field(default_factory=list)
+
+
+@dataclass
+class DirEntry:
+    """Directory state for one block."""
+
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+    busy: bool = False
+    txn: Optional[Transaction] = None
+    #: queued requests: (sort key, message)
+    queue: List[Tuple[Tuple[int, int, int], CoherenceMessage]] = field(
+        default_factory=list
+    )
+    #: cycle each core was last added to the sharer list; early-ack prunes
+    #: older than this are stale (they refer to a previous copy).
+    last_add: Dict[int, int] = field(default_factory=dict)
+
+
+class DirectoryController(Component):
+    """The coherence directory co-located with the L2 bank at ``node``."""
+
+    def __init__(self, sim: Simulator, node: int, memsys: "MemorySystem"):
+        super().__init__(sim, f"dir.{node}")
+        self.node = node
+        self.memsys = memsys
+        self.entries: Dict[int, DirEntry] = {}
+        self._queue_seq = 0
+        self.ocor_queue_ordering = memsys.config.ocor.enabled
+        self.transactions_started = 0
+        self.gets_served = 0
+        self.fail_forwards = 0
+        self.nacked_probes = 0
+        #: blocks resident in this L2 bank; a first touch fetches from DRAM
+        self._resident: set = set()
+        self._fetching: Dict[int, list] = {}
+
+    def _with_block(self, addr: int, action) -> None:
+        """Run ``action`` once ``addr`` is resident in the L2 bank.
+
+        The first touch of a block pays a DRAM access at the nearest
+        memory controller (Table 1's eight edge controllers); concurrent
+        cold requests coalesce onto one fetch.
+        """
+        if addr in self._resident or self.memsys.dram is None:
+            action()
+            return
+        waiting = self._fetching.get(addr)
+        if waiting is not None:
+            waiting.append(action)
+            return
+        self._fetching[addr] = [action]
+
+        def filled() -> None:
+            self._resident.add(addr)
+            for act in self._fetching.pop(addr):
+                act()
+
+        self.memsys.dram.access_from(self.node, filled)
+
+    def entry(self, addr: int) -> DirEntry:
+        ent = self.entries.get(addr)
+        if ent is None:
+            ent = DirEntry()
+            self.entries[addr] = ent
+        return ent
+
+    # ------------------------------------------------------------------
+    # Message entry point (after L2 access latency)
+    # ------------------------------------------------------------------
+    def handle(self, msg: CoherenceMessage) -> None:
+        latency = self.memsys.config.cache.l2_latency
+        if msg.mtype is MessageType.GETS:
+            self.after(
+                latency,
+                lambda: self._with_block(msg.addr, lambda: self._on_gets(msg)),
+            )
+        elif msg.mtype is MessageType.GETX:
+            self.after(
+                latency,
+                lambda: self._with_block(msg.addr, lambda: self._on_getx(msg)),
+            )
+        elif msg.mtype is MessageType.UNBLOCK:
+            self.after(latency, lambda: self._on_unblock(msg))
+        elif msg.mtype is MessageType.INV_ACK:
+            # A big-router-forwarded early ack; directory metadata update
+            # is cheap, relay without a full L2 access.
+            self._on_early_ack(msg)
+        elif msg.mtype is MessageType.DATA and msg.fail_response:
+            self._relay_fail_answer(msg)
+        elif msg.mtype in (MessageType.PUT_S, MessageType.PUT_M):
+            self.after(latency, lambda: self._on_put(msg))
+        else:
+            raise RuntimeError(f"directory {self.node} cannot handle {msg}")
+
+    def _on_put(self, msg: CoherenceMessage) -> None:
+        """An eviction writeback: untrack the core's copy.
+
+        A Put older than the core's latest sharer re-add is stale (the
+        core refetched after evicting) and is dropped, mirroring the
+        early-ack prune rule.
+        """
+        ent = self.entry(msg.addr)
+        core = msg.requester
+        if msg.mtype is MessageType.PUT_M and ent.owner == core:
+            ent.owner = None
+        if core in ent.sharers and (
+            msg.ack_processed_cycle > ent.last_add.get(core, -1)
+        ):
+            ent.sharers.discard(core)
+
+    def _relay_fail_answer(self, msg: CoherenceMessage) -> None:
+        """Register the losing requester as a sharer, then relay the
+        winner's answer to it.
+
+        Doing both at the home puts the sharer add and the copy delivery
+        on the same (in-order) home->loser path as any subsequent
+        invalidation of that copy, which makes untracked installs
+        impossible.
+
+        If a *new* transaction is already open for the block, the answer
+        degrades to a value-only NACK: installing a copy now would create
+        a sharer the open transaction's invalidation set never covered
+        (a Modified winner coexisting with Shared losers).  The loser
+        re-fetches through the normal tracked path instead.
+        """
+        ent = self.entry(msg.addr)
+        copyless = ent.busy
+        if not copyless:
+            ent.sharers.add(msg.requester)
+            ent.last_add[msg.requester] = self.now
+        relayed = CoherenceMessage(
+            mtype=MessageType.DATA,
+            addr=msg.addr,
+            requester=msg.requester,
+            sender=self.node,
+            fail_response=True,
+            copyless=copyless,
+            value=msg.value,
+            # stamp the *add* moment: the loser installs iff its last
+            # locally-processed invalidation predates this, which is the
+            # exact complement of the home's early-ack prune rule
+            generated_cycle=self.now,
+        )
+        self.memsys.send(
+            self.node, msg.requester, relayed, data_packet=not copyless
+        )
+
+    # ------------------------------------------------------------------
+    # GetS
+    # ------------------------------------------------------------------
+    def _on_gets(self, msg: CoherenceMessage) -> None:
+        ent = self.entry(msg.addr)
+        if ent.busy:
+            self._enqueue(ent, msg)
+            return
+        self._serve_gets(ent, msg)
+
+    def _serve_gets(self, ent: DirEntry, msg: CoherenceMessage) -> None:
+        self.gets_served += 1
+        requester = msg.requester
+        if ent.owner is not None and ent.owner != requester:
+            fwd = CoherenceMessage(
+                mtype=MessageType.FWD_GETS,
+                addr=msg.addr,
+                requester=requester,
+                sender=self.node,
+            )
+            self.memsys.send(self.node, ent.owner, fwd)
+        else:
+            data = CoherenceMessage(
+                mtype=MessageType.DATA,
+                addr=msg.addr,
+                requester=requester,
+                sender=self.node,
+            )
+            self.memsys.send(self.node, requester, data, data_packet=True)
+        ent.sharers.add(requester)
+        ent.last_add[requester] = self.now
+
+    # ------------------------------------------------------------------
+    # GetX
+    # ------------------------------------------------------------------
+    def _on_getx(self, msg: CoherenceMessage) -> None:
+        ent = self.entry(msg.addr)
+        if ent.busy:
+            if msg.fails_fast and ent.txn is not None:
+                self._forward_loser(ent, msg)
+            else:
+                self._enqueue(ent, msg)
+            return
+        if (
+            msg.fails_if is not None
+            and self.memsys.config.cache.directory_nacks
+            and msg.fails_if(self.memsys.read(msg.addr))
+        ):
+            # The store-conditional is doomed (e.g. a SWAP that would see
+            # "occupied"): answer with a shared copy instead of opening a
+            # pointless invalidate-everyone transaction (the paper's
+            # Step 4 — losers end each round with valid copies).  When a
+            # core owns the block, the copy comes from it (demoting it to
+            # Owned); otherwise the home supplies it.
+            self.nacked_probes += 1
+            ent.sharers.add(msg.requester)
+            ent.last_add[msg.requester] = self.now
+            if ent.owner is not None and ent.owner != msg.requester:
+                fwd = CoherenceMessage(
+                    mtype=MessageType.FWD_GETS,
+                    addr=msg.addr,
+                    requester=msg.requester,
+                    sender=self.node,
+                    fail_response=True,
+                    generated_cycle=self.now,  # the sharer-add stamp
+                )
+                self.memsys.send(self.node, ent.owner, fwd)
+            else:
+                answer = CoherenceMessage(
+                    mtype=MessageType.DATA,
+                    addr=msg.addr,
+                    requester=msg.requester,
+                    sender=self.node,
+                    fail_response=True,
+                    value=self.memsys.read(msg.addr),
+                    generated_cycle=self.now,
+                )
+                self.memsys.send(
+                    self.node, msg.requester, answer, data_packet=True
+                )
+            return
+        self._start_txn(ent, msg)
+
+    def _forward_loser(self, ent: DirEntry, msg: CoherenceMessage) -> None:
+        """Forward a losing fail-fast GetX to the in-flight winner.
+
+        The winner will answer with a shared copy after its commit (the
+        paper's Step 3/4), so the loser becomes a sharer now.
+        """
+        assert ent.txn is not None
+        self.fail_forwards += 1
+        ent.txn.forwarded_losers.append(msg.requester)
+        fwd = CoherenceMessage(
+            mtype=MessageType.FWD_FAIL,
+            addr=msg.addr,
+            requester=msg.requester,
+            sender=self.node,
+        )
+        self.memsys.send(self.node, ent.txn.winner, fwd)
+
+    def _start_txn(self, ent: DirEntry, msg: CoherenceMessage) -> None:
+        self.transactions_started += 1
+        winner = msg.requester
+        txn_id = next_txn_id()
+        old_owner = ent.owner
+        to_invalidate = {c for c in ent.sharers if c != winner}
+        expected: Set[int] = set()
+        invs_sent = 0
+        for core in sorted(to_invalidate):
+            inv = CoherenceMessage(
+                mtype=MessageType.INV,
+                addr=msg.addr,
+                requester=winner,
+                sender=self.node,
+                inv_target=core,
+                inv_created_cycle=self.now,
+                txn_id=txn_id,
+            )
+            self.memsys.send(self.node, core, inv)
+            expected.add(core)
+            invs_sent += 1
+        if old_owner is not None and old_owner != winner:
+            fwd = CoherenceMessage(
+                mtype=MessageType.FWD_GETX,
+                addr=msg.addr,
+                requester=winner,
+                sender=self.node,
+            )
+            self.memsys.send(self.node, old_owner, fwd)
+            expected.add(old_owner)
+        else:
+            data = CoherenceMessage(
+                mtype=MessageType.DATA_EXCL,
+                addr=msg.addr,
+                requester=winner,
+                sender=self.node,
+                exclusive=True,
+            )
+            self.memsys.send(self.node, winner, data, data_packet=True)
+        ack_count = CoherenceMessage(
+            mtype=MessageType.ACK_COUNT,
+            addr=msg.addr,
+            requester=winner,
+            sender=self.node,
+            ack_from=frozenset(expected),
+            txn_id=txn_id,
+            inv_created_cycle=self.now,  # doubles as the txn start stamp
+        )
+        self.memsys.send(self.node, winner, ack_count)
+        ent.busy = True
+        ent.txn = Transaction(
+            txn_id=txn_id,
+            addr=msg.addr,
+            winner=winner,
+            start=self.now,
+            expected=expected,
+            is_atomic=msg.is_atomic,
+        )
+        ent.owner = winner
+        ent.sharers = set()
+        if msg.is_atomic:
+            self.memsys.stats.txn_started(
+                txn_id, msg.addr, winner, self.now, invs_sent
+            )
+
+    # ------------------------------------------------------------------
+    # Unblock / queue draining
+    # ------------------------------------------------------------------
+    def _on_unblock(self, msg: CoherenceMessage) -> None:
+        ent = self.entry(msg.addr)
+        if ent.txn is None or msg.txn_id != ent.txn.txn_id:
+            return
+        ent.busy = False
+        ent.txn = None
+        self._drain(ent)
+
+    def _drain(self, ent: DirEntry) -> None:
+        """Serve queued GetS requests, then start the best queued GetX.
+
+        With OCOR, both are served in packet-priority order (the RTR
+        mapping), so the refetch of a nearly-sleeping spinner — and hence
+        its subsequent SWAP — is expedited.
+        """
+        aging = self.memsys.config.ocor.aging_cycles
+
+        def effective(key) -> tuple:
+            # key = (-priority, arrival, seq); waiting time buys levels
+            # so low-priority (wakeup) requests cannot starve
+            neg_prio, arrival, seq = key
+            if self.ocor_queue_ordering and aging > 0:
+                neg_prio -= (self.now - arrival) // aging
+            return (neg_prio, arrival, seq)
+
+        while ent.queue and not ent.busy:
+            gets = [
+                (effective(key), i) for i, (key, m) in enumerate(ent.queue)
+                if m.mtype is MessageType.GETS
+            ]
+            if gets:
+                _, idx = min(gets)
+                _, msg = ent.queue.pop(idx)
+                self._serve_gets(ent, msg)
+                continue
+            best = min(
+                range(len(ent.queue)),
+                key=lambda i: effective(ent.queue[i][0]),
+            )
+            _, msg = ent.queue.pop(best)
+            self._start_txn(ent, msg)
+
+    def _enqueue(self, ent: DirEntry, msg: CoherenceMessage) -> None:
+        priority = msg.priority if self.ocor_queue_ordering else 0
+        key = (-priority, self.now, self._queue_seq)
+        self._queue_seq += 1
+        ent.queue.append((key, msg))
+
+    # ------------------------------------------------------------------
+    # iNPG early acks
+    # ------------------------------------------------------------------
+    def _on_early_ack(self, msg: CoherenceMessage) -> None:
+        ent = self.entry(msg.addr)
+        core = msg.inv_target
+        if msg.stale:
+            # The target kept a legitimately owned line; the ack only
+            # served to release the big router's EI entry.
+            return
+        if core in ent.sharers:
+            # Prune only if the invalidation postdates the core's latest
+            # sharer add — an older ack refers to a previous, already-dead
+            # copy and must not untrack the current one.
+            if msg.ack_processed_cycle > ent.last_add.get(core, -1):
+                ent.sharers.discard(core)
+                self.memsys.stats.early_acks_consumed_before_txn += 1
+        if ent.txn is not None and core in ent.txn.expected:
+            relay = CoherenceMessage(
+                mtype=MessageType.INV_ACK,
+                addr=msg.addr,
+                requester=ent.txn.winner,
+                sender=self.node,
+                inv_target=core,
+                inv_created_cycle=msg.inv_created_cycle,
+                early=True,
+                txn_id=ent.txn.txn_id,
+            )
+            self.memsys.send(self.node, ent.txn.winner, relay)

@@ -1,0 +1,580 @@
+"""Private L1 cache controller (one per core).
+
+Implements the core side of the directory MOESI protocol of the paper's
+Figure 4:
+
+* ``load`` — returns the line's value; misses issue GetS to the home node.
+* ``rmw`` — atomic read-modify-write (the hardware behind SWAP,
+  fetch-and-add, compare-and-swap).  Needs exclusive ownership: misses
+  issue an *atomic* GetX; the controller then waits for the data response,
+  the home's AckCount, and an InvAck from every core listed in it before
+  committing.
+* ``store`` — plain store (e.g. a lock release); same GetX path but not
+  flagged atomic, so iNPG big routers leave it alone.
+
+Value semantics: committed memory values live in the shared
+``MemorySystem.values`` map.  Because a write only commits after every
+other copy has been invalidated and acknowledged (the protocol's whole
+point), reading that map at load/RMW completion time is coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..sim import Component, Simulator
+from .messages import CoherenceMessage, MessageType
+from .states import L1State
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .memsystem import MemorySystem
+
+#: RMW operator: old value -> (new value to store, value returned to core)
+RmwOp = Callable[[int], Tuple[int, int]]
+LoadCallback = Callable[[int], None]
+
+
+@dataclass
+class _PendingLoad:
+    callbacks: List[LoadCallback] = field(default_factory=list)
+    #: an Inv arrived while the GetS was outstanding; drop the stale fill.
+    drop_on_fill: bool = False
+
+
+@dataclass
+class _PendingWrite:
+    op: RmwOp
+    callback: LoadCallback
+    is_atomic: bool
+    #: when set, a losing request observing a value for which this returns
+    #: True completes as a failed RMW (no write) with that value.
+    fails_if: Optional[Callable[[int], bool]] = None
+    #: LL/SC-style RMW (Alpha fetch&inc / swap loops): a losing request
+    #: retries its GetX until it wins and commits; it never fails.
+    ll_sc: bool = False
+    priority: int = 0
+    have_data: bool = False
+    expected: Optional[Set[int]] = None
+    acked: Set[int] = field(default_factory=set)
+    txn_id: int = 0
+    txn_start: int = -1
+    early_acks_used: int = 0
+    #: losing fail-fast requesters forwarded to us while we were winning;
+    #: answered right after our commit (paper Step 4).
+    fail_requests: List[int] = field(default_factory=list)
+    #: cycle our current GetX (initial or retry) was sent.
+    sent_cycle: int = -1
+    #: cycle of the last invalidation processed locally while this write
+    #: was outstanding.  A fail-answer may only install its copy when no
+    #: invalidation has been processed since the GetX that produced it
+    #: was sent — otherwise the directory may already have pruned us.
+    local_inv_cycle: int = -1
+
+
+class L1Cache(Component):
+    """Private L1 data cache controller at ``node``."""
+
+    def __init__(self, sim: Simulator, node: int, memsys: "MemorySystem"):
+        super().__init__(sim, f"l1.{node}")
+        self.node = node
+        self.memsys = memsys
+        self.lines: Dict[int, L1State] = {}
+        self._pending_loads: Dict[int, _PendingLoad] = {}
+        self._pending_writes: Dict[int, _PendingWrite] = {}
+        #: InvAcks that arrived before this core knew it had won (no
+        #: AckCount yet): {addr: {core: (created, early, txn_id)}},
+        #: consumed at AckCount time if the transaction ids match.
+        self._stray_acks: Dict[int, Dict[int, Tuple[int, bool, int]]] = {}
+        #: LL-monitor / MWAIT-style invalidation watchers per address.
+        self._monitors: Dict[int, List[Callable[[], None]]] = {}
+        #: LRU stamps for the optional finite-capacity model.
+        self._last_use: Dict[int, int] = {}
+        self._use_seq = 0
+        self.evictions = 0
+        self.loads = 0
+        self.load_hits = 0
+        self.rmws = 0
+        self.rmw_hits = 0
+
+    # ------------------------------------------------------------------
+    # Core-facing operations
+    # ------------------------------------------------------------------
+    def state_of(self, addr: int) -> L1State:
+        return self.lines.get(addr, L1State.INVALID)
+
+    def load(self, addr: int, callback: LoadCallback, priority: int = 0) -> None:
+        """Read ``addr``; ``callback(value)`` fires when the load completes."""
+        self.loads += 1
+        latency = self.memsys.config.cache.l1_latency
+        if self.state_of(addr).can_read:
+            self.load_hits += 1
+            self._touch(addr)
+            self.after(latency, lambda: callback(self.memsys.read(addr)))
+            return
+        pending = self._pending_loads.get(addr)
+        if pending is not None:
+            pending.callbacks.append(callback)
+            return
+        self._pending_loads[addr] = _PendingLoad(callbacks=[callback])
+        self.after(
+            latency,
+            lambda: self.memsys.send_to_home(
+                self.node, MessageType.GETS, addr, priority=priority
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Optional finite capacity (CacheConfig.model_capacity)
+    # ------------------------------------------------------------------
+    def _touch(self, addr: int) -> None:
+        self._use_seq += 1
+        self._last_use[addr] = self._use_seq
+
+    def _set_index(self, addr: int) -> int:
+        cache = self.memsys.config.cache
+        return (addr // cache.block_bytes) % cache.l1_num_sets
+
+    def _install(self, addr: int, state: L1State) -> None:
+        """Install a line, evicting an LRU victim if the set is full."""
+        cache = self.memsys.config.cache
+        self.lines[addr] = state
+        self._touch(addr)
+        if not cache.model_capacity:
+            return
+        target_set = self._set_index(addr)
+        resident = [
+            a for a, s in self.lines.items()
+            if s.valid and a != addr and self._set_index(a) == target_set
+        ]
+        if len(resident) < cache.l1_assoc:
+            return
+        # evict the least recently used victim that has no pending op
+        candidates = [
+            a for a in resident
+            if a not in self._pending_writes and a not in self._pending_loads
+        ]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda a: self._last_use.get(a, 0))
+        self._evict(victim)
+
+    def _evict(self, addr: int) -> None:
+        state = self.lines.get(addr, L1State.INVALID)
+        if not state.valid:
+            return
+        self.evictions += 1
+        self.lines[addr] = L1State.INVALID
+        self._fire_monitors(addr)
+        mtype = (
+            MessageType.PUT_M if state.owns_data else MessageType.PUT_S
+        )
+        put = CoherenceMessage(
+            mtype=mtype,
+            addr=addr,
+            requester=self.node,
+            sender=self.node,
+            ack_processed_cycle=self.now,
+        )
+        self.memsys.send(
+            self.node, self.memsys.home_of(addr), put,
+            data_packet=mtype is MessageType.PUT_M,
+        )
+
+    def monitor_invalidation(self, addr: int, callback: Callable[[], None]) -> None:
+        """Fire ``callback`` when our copy of ``addr`` is invalidated.
+
+        This is the hardware line monitor behind LL/SC spinning and
+        MONITOR/MWAIT: a waiter arms the monitor on its valid copy and
+        wakes when coherence takes the line away.  If the line is already
+        invalid the callback fires on the next cycle.
+        """
+        if not self.state_of(addr).valid:
+            self.after(1, callback)
+            return
+        self._monitors.setdefault(addr, []).append(callback)
+
+    def _fire_monitors(self, addr: int) -> None:
+        watchers = self._monitors.pop(addr, None)
+        if not watchers:
+            return
+        for callback in watchers:
+            self.after(1, callback)
+
+    def rmw(
+        self,
+        addr: int,
+        op: RmwOp,
+        callback: LoadCallback,
+        priority: int = 0,
+        is_atomic: bool = True,
+        fails_if: Optional[Callable[[int], bool]] = None,
+        ll_sc: bool = False,
+    ) -> None:
+        """Atomically apply ``op`` to ``addr``; ``callback(returned)``.
+
+        ``is_atomic=False`` marks an ordinary store expressed as an RMW
+        (e.g. a ticket-lock release that rewrites one half of the lock
+        word); iNPG big routers leave non-atomic requests alone.
+
+        ``fails_if`` enables fail-fast semantics for competing SWAPs: a
+        request losing the home-node race is forwarded to the winner and
+        answered with a shared copy; if that copy's value satisfies
+        ``fails_if`` the RMW completes *without writing*, returning the
+        observed value — the paper's Figure 4 losing-SWAP behaviour.
+
+        ``ll_sc`` marks an Alpha-style load-locked/store-conditional loop
+        (fetch-and-increment, unconditional swap): a losing request simply
+        retries until it wins a transaction and commits.
+        """
+        self._write(
+            addr, op, callback, is_atomic=is_atomic, priority=priority,
+            fails_if=fails_if, ll_sc=ll_sc,
+        )
+
+    def store(
+        self, addr: int, value: int, callback: LoadCallback, priority: int = 0
+    ) -> None:
+        """Plain store of ``value``; ``callback(old value)`` on commit."""
+        self._write(
+            addr,
+            lambda old: (value, old),
+            callback,
+            is_atomic=False,
+            priority=priority,
+        )
+
+    def _write(
+        self,
+        addr: int,
+        op: RmwOp,
+        callback: LoadCallback,
+        is_atomic: bool,
+        priority: int,
+        fails_if: Optional[Callable[[int], bool]] = None,
+        ll_sc: bool = False,
+    ) -> None:
+        self.rmws += 1
+        if addr in self._pending_writes:
+            raise RuntimeError(
+                f"core {self.node}: overlapping writes to {addr:#x} unsupported"
+            )
+        latency = self.memsys.config.cache.l1_latency
+        if self.state_of(addr).can_write:
+            self.rmw_hits += 1
+            self.lines[addr] = L1State.MODIFIED
+            self._touch(addr)
+
+            def _commit_hit() -> None:
+                returned = self.memsys.apply_rmw(addr, op)
+                callback(returned)
+
+            self.after(latency, _commit_hit)
+            return
+        pending = _PendingWrite(
+            op=op, callback=callback, is_atomic=is_atomic,
+            fails_if=fails_if, ll_sc=ll_sc, priority=priority,
+        )
+        self._pending_writes[addr] = pending
+
+        def _send() -> None:
+            pending.sent_cycle = self.now
+            self.memsys.send_to_home(
+                self.node,
+                MessageType.GETX,
+                addr,
+                priority=priority,
+                is_atomic=is_atomic,
+                fails_fast=fails_if is not None or ll_sc,
+                fails_if=fails_if,
+                holds_copy=self.state_of(addr).valid,
+            )
+
+        self.after(latency, _send)
+
+    # ------------------------------------------------------------------
+    # Network-facing message handling
+    # ------------------------------------------------------------------
+    def handle(self, msg: CoherenceMessage) -> None:
+        handler = {
+            MessageType.DATA: self._on_data,
+            MessageType.DATA_EXCL: self._on_data_excl,
+            MessageType.ACK_COUNT: self._on_ack_count,
+            MessageType.INV: self._on_inv,
+            MessageType.INV_ACK: self._on_inv_ack,
+            MessageType.FWD_GETS: self._on_fwd_gets,
+            MessageType.FWD_GETX: self._on_fwd_getx,
+            MessageType.FWD_FAIL: self._on_fwd_fail,
+        }.get(msg.mtype)
+        if handler is None:
+            raise RuntimeError(f"L1 {self.node} cannot handle {msg}")
+        handler(msg)
+
+    # -- load fill / fail response ---------------------------------------
+    def _on_data(self, msg: CoherenceMessage) -> None:
+        if msg.fail_response:
+            self._on_fail_data(msg)
+            return
+        pending = self._pending_loads.pop(msg.addr, None)
+        if pending is None:
+            return
+        if not pending.drop_on_fill:
+            self._install(msg.addr, L1State.SHARED)
+        value = self.memsys.read(msg.addr)
+        for cb in pending.callbacks:
+            cb(value)
+
+    def _on_fail_data(self, msg: CoherenceMessage) -> None:
+        """A value-carrying NACK answering our losing fail-fast RMW.
+
+        The answer never installs a copy — a loser that wants to observe
+        the line again re-fetches it with a tracked GetS (the retry loop's
+        LL), so directory sharer state can never diverge from L1 state.
+        """
+        pending = self._pending_writes.get(msg.addr)
+        if pending is None:
+            return
+        # The home registered us as a sharer at ``generated_cycle`` before
+        # sending/relaying this copy.  Install exactly when our last
+        # locally-processed invalidation predates that add — the precise
+        # complement of the home's early-ack prune rule
+        # (``ack_processed_cycle > last_add``), so the directory's view
+        # and our line state can never diverge.
+        if not msg.copyless and pending.local_inv_cycle < msg.generated_cycle:
+            self._install(msg.addr, L1State.SHARED)
+        if pending.ll_sc or pending.fails_if is None or not pending.fails_if(
+            msg.value
+        ):
+            # LL/SC loops always retry; a conditional SWAP retries when the
+            # observed value would NOT make it a no-op (e.g. the lock was
+            # freed while the answer travelled).  Retries back off by one
+            # spin interval to avoid live-storming the home node.
+            retry_gap = self.memsys.config.spin.spin_interval
+
+            def _retry() -> None:
+                if msg.addr in self._pending_writes:
+                    pending.sent_cycle = self.now
+                    self.memsys.send_to_home(
+                        self.node,
+                        MessageType.GETX,
+                        msg.addr,
+                        priority=pending.priority,
+                        is_atomic=pending.is_atomic,
+                        fails_fast=True,
+                        fails_if=pending.fails_if,
+                        holds_copy=self.state_of(msg.addr).valid,
+                    )
+
+            self.after(retry_gap, _retry)
+            return
+        del self._pending_writes[msg.addr]
+        # forwarded losers that piled onto this pending (e.g. sent while a
+        # previous transaction's FwdFail was still in flight) must still be
+        # answered, or they starve
+        for loser in pending.fail_requests:
+            self._answer_fail_request(msg.addr, loser)
+        pending.callback(msg.value)
+
+    # -- exclusive data / ack collection ---------------------------------
+    def _on_data_excl(self, msg: CoherenceMessage) -> None:
+        pending = self._pending_writes.get(msg.addr)
+        if pending is None:
+            return
+        pending.have_data = True
+        if msg.counts_as_ack_from is not None:
+            pending.acked.add(msg.counts_as_ack_from)
+        self._maybe_commit(msg.addr)
+
+    def _on_ack_count(self, msg: CoherenceMessage) -> None:
+        pending = self._pending_writes.get(msg.addr)
+        if pending is None:
+            return
+        pending.expected = set(msg.ack_from)
+        pending.txn_id = msg.txn_id
+        pending.txn_start = msg.inv_created_cycle
+        stray = self._stray_acks.pop(msg.addr, None)
+        if stray:
+            for core, (created, early, txn_id) in stray.items():
+                if core not in pending.expected or txn_id != pending.txn_id:
+                    continue
+                pending.acked.add(core)
+                if early:
+                    # RTT already recorded at the generating big router
+                    pending.early_acks_used += 1
+                else:
+                    self.memsys.stats.inv_completed(
+                        core, created, self.now, early=False
+                    )
+        self._maybe_commit(msg.addr)
+
+    def _on_inv_ack(self, msg: CoherenceMessage) -> None:
+        pending = self._pending_writes.get(msg.addr)
+        if pending is None or pending.expected is None:
+            # The winner doesn't know its expected set yet (AckCount in
+            # flight) -- buffer the ack by invalidated-core id.
+            self._stray_acks.setdefault(msg.addr, {})[msg.inv_target] = (
+                msg.inv_created_cycle,
+                msg.early,
+                msg.txn_id,
+            )
+            return
+        if msg.txn_id != pending.txn_id:
+            return
+        if msg.inv_target in pending.expected and msg.inv_target not in pending.acked:
+            pending.acked.add(msg.inv_target)
+            if msg.early:
+                # RTT already recorded at the generating big router
+                pending.early_acks_used += 1
+            else:
+                self.memsys.stats.inv_completed(
+                    msg.inv_target, msg.inv_created_cycle, self.now, early=False
+                )
+        self._maybe_commit(msg.addr)
+
+    def _maybe_commit(self, addr: int) -> None:
+        pending = self._pending_writes.get(addr)
+        if pending is None or not pending.have_data or pending.expected is None:
+            return
+        if not pending.expected <= pending.acked:
+            return
+        del self._pending_writes[addr]
+        self._install(addr, L1State.MODIFIED)
+        returned = self.memsys.apply_rmw(addr, pending.op)
+        self.memsys.stats.txn_committed(
+            pending.txn_id, self.now, pending.early_acks_used
+        )
+        self.memsys.send_to_home(
+            self.node, MessageType.UNBLOCK, addr, txn_id=pending.txn_id
+        )
+        for loser in pending.fail_requests:
+            self._answer_fail_request(addr, loser)
+        pending.callback(returned)
+
+    # -- invalidation -----------------------------------------------------
+    def _on_inv(self, msg: CoherenceMessage) -> None:
+        """Invalidate our copy and acknowledge.
+
+        The ack travels to the transaction winner (``msg.requester``) in the
+        baseline; an early invalidation from a big router is acknowledged
+        back to that router, which relays it to the home node.
+
+        An *early* invalidation is only meaningful for the stale copy the
+        target held when its GetX was stopped.  If the target has since
+        gained ownership (its converted request won at the home node before
+        the Inv packet arrived), the line is kept and the ack is marked
+        stale so it only releases the big router's EI entry.
+        """
+        stale = False
+        if msg.early and self.state_of(msg.addr).owns_data:
+            stale = True
+        else:
+            self.lines[msg.addr] = L1State.INVALID
+            self._fire_monitors(msg.addr)
+            pending_load = self._pending_loads.get(msg.addr)
+            if pending_load is not None:
+                pending_load.drop_on_fill = True
+            pending_write = self._pending_writes.get(msg.addr)
+            if pending_write is not None:
+                pending_write.local_inv_cycle = self.now
+        ack = CoherenceMessage(
+            mtype=MessageType.INV_ACK,
+            addr=msg.addr,
+            requester=msg.requester,
+            sender=self.node,
+            inv_target=self.node,
+            inv_created_cycle=msg.inv_created_cycle,
+            early=msg.early,
+            via_router=msg.via_router,
+            txn_id=msg.txn_id,
+            stale=stale,
+            ack_processed_cycle=self.now,
+        )
+        if msg.early and msg.via_router is not None:
+            self.memsys.send(self.node, msg.via_router, ack)
+        else:
+            self.memsys.send(self.node, msg.requester, ack)
+
+    # -- losing fail-fast RMWs forwarded by the home node -----------------
+    def _on_fwd_fail(self, msg: CoherenceMessage) -> None:
+        """A loser's SWAP was forwarded to us (the winner).
+
+        If our own RMW transaction is still collecting acks, the answer
+        waits for our commit (the paper's winner enters the CS and *then*
+        sends valid copies to the losers); otherwise answer immediately.
+        """
+        pending = self._pending_writes.get(msg.addr)
+        if pending is not None:
+            pending.fail_requests.append(msg.requester)
+            return
+        self._answer_fail_request(msg.addr, msg.requester)
+
+    def _answer_fail_request(self, addr: int, loser: int) -> None:
+        """Answer a forwarded losing RMW with a copy of the block.
+
+        The answer routes via the home node, which registers the loser as
+        a sharer and relays the copy.  Registration and relay leave the
+        home on the same path as any future invalidation of that copy, so
+        the loser can never end up holding an untracked line.
+
+        Sharing a copy demotes our exclusive line to Owned — otherwise our
+        next (release) store would commit silently while sharers exist.
+        """
+        state = self.state_of(addr)
+        if state is L1State.MODIFIED or state is L1State.EXCLUSIVE:
+            self.lines[addr] = L1State.OWNED
+        answer = CoherenceMessage(
+            mtype=MessageType.DATA,
+            addr=addr,
+            requester=loser,
+            sender=self.node,
+            fail_response=True,
+            dest_is_home=True,
+            value=self.memsys.read(addr),
+            generated_cycle=self.now,
+        )
+        self.memsys.send(self.node, self.memsys.home_of(addr), answer)
+
+    # -- ownership transfer ----------------------------------------------
+    def _on_fwd_gets(self, msg: CoherenceMessage) -> None:
+        """Supply a shared copy to a requester on the home node's behalf.
+
+        ``fail_response`` marks the copy as the answer to a doomed swap
+        attempt (the requester's pending RMW completes as failed); the
+        home's sharer-add stamp travels with it so the requester's
+        install decision matches the directory's prune rule.
+        """
+        state = self.state_of(msg.addr)
+        if state.valid:
+            self.lines[msg.addr] = L1State.OWNED
+        data = CoherenceMessage(
+            mtype=MessageType.DATA,
+            addr=msg.addr,
+            requester=msg.requester,
+            sender=self.node,
+            fail_response=msg.fail_response,
+            value=self.memsys.read(msg.addr),
+            generated_cycle=msg.generated_cycle,
+        )
+        self.memsys.send(self.node, msg.requester, data, data_packet=True)
+
+    def _on_fwd_getx(self, msg: CoherenceMessage) -> None:
+        """Hand exclusive ownership to a new winner; our copy dies.
+
+        If our copy was already (early-)invalidated we still respond,
+        sourcing the committed value — the directory believed us owner and
+        the winner is waiting on this response.
+        """
+        self.lines[msg.addr] = L1State.INVALID
+        self._fire_monitors(msg.addr)
+        pending_write = self._pending_writes.get(msg.addr)
+        if pending_write is not None:
+            pending_write.local_inv_cycle = self.now
+        data = CoherenceMessage(
+            mtype=MessageType.DATA_EXCL,
+            addr=msg.addr,
+            requester=msg.requester,
+            sender=self.node,
+            exclusive=True,
+            counts_as_ack_from=self.node,
+        )
+        self.memsys.send(self.node, msg.requester, data, data_packet=True)

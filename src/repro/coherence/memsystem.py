@@ -1,0 +1,211 @@
+"""Memory system: L1 caches + directories + NoC + committed value store.
+
+One tile per mesh node: a core with its private L1, and a bank of the
+chip-wide shared L2 with its slice of the coherence directory (Figure 3).
+Blocks are interleaved across banks, so every address has a *home node*.
+
+The class also owns the committed value store.  A write (atomic RMW or
+plain store) mutates it only at commit time — after the protocol has
+invalidated and collected acknowledgements from every other copy — so a
+read through a valid L1 line always observes a coherent value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, TYPE_CHECKING
+
+from ..config import SystemConfig
+from ..noc import Network, Packet
+from ..sim import Component, Simulator
+from ..stats.coherence_stats import CoherenceStats
+from .directory import DirectoryController
+from .l1cache import L1Cache, LoadCallback, RmwOp
+from .messages import CoherenceMessage, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: message types handled by the directory at the destination node
+_DIR_TYPES = frozenset(
+    {
+        MessageType.GETS,
+        MessageType.GETX,
+        MessageType.UNBLOCK,
+        MessageType.PUT_S,
+        MessageType.PUT_M,
+    }
+)
+
+#: request-class messages carry their own (OCOR) priority; everything else
+#: is response-class and must outrank requests in priority arbitration so
+#: in-flight transactions cannot be starved by request storms.
+_REQUEST_TYPES = frozenset({MessageType.GETS, MessageType.GETX})
+RESPONSE_PRIORITY = 100
+
+
+class MemorySystem(Component):
+    """The full cache-coherent memory hierarchy of the many-core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        network: Network,
+        model_dram: bool = True,
+    ):
+        super().__init__(sim, "memsystem")
+        self.config = config
+        self.network = network
+        self.stats = CoherenceStats()
+        self.values: Dict[int, int] = {}
+        #: off-chip path; None disables cold-miss DRAM modelling
+        from ..cpu.memory_model import MemorySubsystem
+
+        self.dram = (
+            MemorySubsystem(sim, config.noc, config.memory)
+            if model_dram
+            else None
+        )
+        num_nodes = network.mesh.num_nodes
+        self.l1s: Dict[int, L1Cache] = {
+            n: L1Cache(sim, n, self) for n in range(num_nodes)
+        }
+        self.dirs: Dict[int, DirectoryController] = {
+            n: DirectoryController(sim, n, self) for n in range(num_nodes)
+        }
+        for node in range(num_nodes):
+            network.register_endpoint(node, self._make_endpoint(node))
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def home_of(self, addr: int) -> int:
+        """Home node (L2 bank / directory slice) of ``addr``."""
+        block = addr // self.config.cache.block_bytes
+        return block % self.network.mesh.num_nodes
+
+    def addr_for_home(self, home_node: int, index: int = 0) -> int:
+        """An address (block-aligned) whose home is ``home_node``.
+
+        ``index`` selects distinct blocks with the same home.
+        """
+        num_nodes = self.network.mesh.num_nodes
+        block = index * num_nodes + home_node
+        return block * self.config.cache.block_bytes
+
+    # ------------------------------------------------------------------
+    # Committed values
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> int:
+        return self.values.get(addr, 0)
+
+    def apply_rmw(self, addr: int, op: RmwOp) -> int:
+        """Apply ``op`` atomically; returns the op's return value."""
+        new_value, returned = op(self.values.get(addr, 0))
+        self.values[addr] = new_value
+        return returned
+
+    # ------------------------------------------------------------------
+    # Core-facing operations
+    # ------------------------------------------------------------------
+    def load(
+        self, core: int, addr: int, callback: LoadCallback, priority: int = 0
+    ) -> None:
+        self.l1s[core].load(addr, callback, priority=priority)
+
+    def rmw(
+        self,
+        core: int,
+        addr: int,
+        op: RmwOp,
+        callback: LoadCallback,
+        priority: int = 0,
+        is_atomic: bool = True,
+        fails_if=None,
+        ll_sc: bool = False,
+    ) -> None:
+        self.l1s[core].rmw(
+            addr, op, callback, priority=priority, is_atomic=is_atomic,
+            fails_if=fails_if, ll_sc=ll_sc,
+        )
+
+    def store(
+        self,
+        core: int,
+        addr: int,
+        value: int,
+        callback: LoadCallback,
+        priority: int = 0,
+    ) -> None:
+        self.l1s[core].store(addr, value, callback, priority=priority)
+
+    def monitor_invalidation(self, core: int, addr: int, callback) -> None:
+        """Arm ``core``'s L1 line monitor on ``addr`` (MWAIT-style)."""
+        self.l1s[core].monitor_invalidation(addr, callback)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send_to_home(
+        self,
+        src: int,
+        mtype: MessageType,
+        addr: int,
+        priority: int = 0,
+        is_atomic: bool = False,
+        txn_id: int = 0,
+        fails_fast: bool = False,
+        fails_if=None,
+        holds_copy: bool = False,
+    ) -> None:
+        """Build and send a request to the home node of ``addr``."""
+        msg = CoherenceMessage(
+            mtype=mtype,
+            addr=addr,
+            requester=src,
+            sender=src,
+            is_atomic=is_atomic,
+            fails_fast=fails_fast,
+            fails_if=fails_if,
+            holds_copy=holds_copy,
+            txn_id=txn_id,
+            priority=priority,
+        )
+        self.send(src, self.home_of(addr), msg)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        msg: CoherenceMessage,
+        data_packet: bool = False,
+    ) -> None:
+        """Inject ``msg`` into the NoC."""
+        self.stats.count(msg.mtype.value)
+        size = (
+            self.config.noc.data_packet_flits
+            if data_packet
+            else self.config.noc.ctrl_packet_flits
+        )
+        priority = (
+            msg.priority if msg.mtype in _REQUEST_TYPES else RESPONSE_PRIORITY
+        )
+        self.network.send(src, dst, msg, size_flits=size, priority=priority)
+
+    def _make_endpoint(self, node: int) -> Callable[[Packet], None]:
+        def endpoint(packet: Packet) -> None:
+            msg = packet.payload
+            if not isinstance(msg, CoherenceMessage):
+                raise RuntimeError(f"unexpected payload at node {node}: {msg!r}")
+            if msg.mtype in _DIR_TYPES:
+                self.dirs[node].handle(msg)
+            elif msg.dest_is_home and msg.mtype in (
+                MessageType.INV_ACK, MessageType.DATA
+            ):
+                # big-router-forwarded early acks and winner fail answers
+                # in transit to the directory
+                self.dirs[node].handle(msg)
+            else:
+                self.l1s[node].handle(msg)
+
+        return endpoint

@@ -1,0 +1,134 @@
+"""Coherence protocol messages.
+
+Message names follow the Gem5/MOESI vocabulary the paper uses in its
+Figure 4 walk-through: GetS, GetX, Inv, InvAck, FwdGetX, AckCount, Data,
+Unblock.  Control messages are single-flit packets; data responses carry a
+cache block and are 8-flit packets (Table 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Optional
+
+
+class MessageType(Enum):
+    #: read request (load miss) to the home node
+    GETS = "GetS"
+    #: read-for-modification (atomic RMW or store miss) to the home node
+    GETX = "GetX"
+    #: home -> current owner: supply block to a GetS requester
+    FWD_GETS = "FwdGetS"
+    #: home -> current owner: transfer exclusive ownership to a new winner
+    FWD_GETX = "FwdGetX"
+    #: home -> transaction winner: a losing fail-fast GetX (e.g. a SWAP that
+    #: will observe "occupied"); the winner answers it with a shared copy
+    #: (the paper's Step 3 "forwards the GetX requests from the losers")
+    FWD_FAIL = "FwdFail"
+    #: block data response (shared)
+    DATA = "Data"
+    #: block data response granting exclusive ownership
+    DATA_EXCL = "DataExcl"
+    #: invalidate the target's copy; ack goes to the transaction winner
+    INV = "Inv"
+    #: invalidation acknowledgement
+    INV_ACK = "InvAck"
+    #: home -> winner: the set of cores whose InvAcks must be collected
+    ACK_COUNT = "AckCount"
+    #: winner -> home: transaction complete, unblock the directory entry
+    UNBLOCK = "Unblock"
+    #: evicting core -> home: give up a clean shared copy
+    PUT_S = "PutS"
+    #: evicting core -> home: write back an owned/modified copy
+    PUT_M = "PutM"
+
+    @property
+    def is_data(self) -> bool:
+        return self in (MessageType.DATA, MessageType.DATA_EXCL)
+
+
+_txn_ids = itertools.count(1)
+
+
+def next_txn_id() -> int:
+    """Fresh directory transaction id (monotonic, global)."""
+    return next(_txn_ids)
+
+
+@dataclass
+class CoherenceMessage:
+    """Payload of one NoC packet in the coherence protocol."""
+
+    mtype: MessageType
+    addr: int
+    #: core/node that originated the memory operation this message serves.
+    requester: int
+    #: immediate sender node (home, a core, or a big router).
+    sender: int = -1
+    #: for GETX: True when issued by an atomic RMW (lock acquire attempt).
+    #: Big routers only barrier atomic GetX requests.
+    is_atomic: bool = False
+    #: for GETX: the RMW can fail fast (a SWAP onto an occupied lock); a
+    #: losing request is answered by the winner with a shared copy instead
+    #: of a serialized ownership transfer.
+    fails_fast: bool = False
+    #: for fail-fast GETX: the failure predicate itself, so the directory
+    #: can answer a doomed request (e.g. a SWAP that would observe
+    #: "occupied") with a shared copy directly, without opening a
+    #: transaction — the store-conditional simply fails.
+    fails_if: Optional[object] = None
+    #: for GETX: the issuing L1 held a valid copy when the request left.
+    #: Big routers only stop requests whose issuer has a copy to
+    #: early-invalidate; stopping copy-less requests is pure overhead.
+    holds_copy: bool = False
+    #: for DATA answering a forwarded losing GetX: the observed value.
+    fail_response: bool = False
+    value: int = 0
+    #: for DATA fail answers: cycle the answer was generated.
+    generated_cycle: int = -1
+    #: for DATA fail answers: value-only NACK — the requester must not
+    #: install a copy (used when another core owns the block exclusively).
+    copyless: bool = False
+    #: for INV_ACK: cycle the target L1 processed the invalidation; the
+    #: directory uses it to ignore prunes that predate a newer sharer add.
+    ack_processed_cycle: int = -1
+    #: for GETX: set once a big router stopped + converted this request.
+    early_invalidated: bool = False
+    #: for ACK_COUNT: cores whose InvAcks the winner must collect.
+    ack_from: FrozenSet[int] = frozenset()
+    #: for DATA/DATA_EXCL: whether this grants write permission.
+    exclusive: bool = False
+    #: for DATA_EXCL sent by a previous owner: counts as that owner's ack.
+    counts_as_ack_from: Optional[int] = None
+    #: for INV / INV_ACK: cycle the invalidation was created (RTT metric),
+    #: the core being invalidated, and whether a big router generated it.
+    inv_created_cycle: int = -1
+    inv_target: int = -1
+    early: bool = False
+    #: big router node that generated an early INV (ack returns there first).
+    via_router: Optional[int] = None
+    #: for INV_ACK: True when a big router forwarded this ack to the home
+    #: node's directory (rather than to a winner's L1).
+    dest_is_home: bool = False
+    #: for INV_ACK answering an *early* INV that arrived after its target
+    #: had legitimately gained ownership: the target kept its line; the
+    #: ack only releases the big router's EI entry and must not prune
+    #: directory state.
+    stale: bool = False
+    #: directory transaction id (assigned when home starts the transaction).
+    txn_id: int = 0
+    #: OCOR: priority level carried by lock request packets.
+    priority: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.mtype.value}(addr={self.addr:#x}, req={self.requester}, "
+            f"txn={self.txn_id})"
+        )
+
+
+def ctrl(mtype: MessageType, addr: int, requester: int, **kw) -> CoherenceMessage:
+    """Shorthand constructor for control messages."""
+    return CoherenceMessage(mtype=mtype, addr=addr, requester=requester, **kw)

@@ -1,0 +1,38 @@
+"""MOESI cache line states.
+
+The target platform uses a directory-based MOESI protocol (Section 3.1).
+Only the states actually reachable in our transaction flows are used, but
+the full enum is provided for API completeness.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class L1State(Enum):
+    """Stable L1 line states."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    OWNED = "O"
+    MODIFIED = "M"
+
+    @property
+    def valid(self) -> bool:
+        return self is not L1State.INVALID
+
+    @property
+    def can_read(self) -> bool:
+        return self.valid
+
+    @property
+    def can_write(self) -> bool:
+        """Write permission without a coherence transaction."""
+        return self in (L1State.MODIFIED, L1State.EXCLUSIVE)
+
+    @property
+    def owns_data(self) -> bool:
+        """This cache is responsible for supplying the block."""
+        return self in (L1State.MODIFIED, L1State.OWNED, L1State.EXCLUSIVE)

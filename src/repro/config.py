@@ -1,0 +1,220 @@
+"""System configuration, mirroring Table 1 of the paper.
+
+All timing is expressed in CPU cycles of the 2.0 GHz cores; the NoC runs at
+core frequency (as in the paper's Gem5/GARNET setup).  A single
+:class:`SystemConfig` fully determines a simulation run (together with the
+workload), so experiments are declarative parameter sweeps over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Processor core parameters (Table 1: Alpha 2.0 GHz out-of-order)."""
+
+    frequency_ghz: float = 2.0
+    #: cycles a thread needs to issue the next instruction of the lock FSM
+    #: after a memory response arrives (models non-memory pipeline work).
+    issue_latency: int = 1
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """L1/L2 cache parameters (Table 1)."""
+
+    l1_size_kb: int = 32
+    l1_assoc: int = 4
+    l1_latency: int = 2
+    l2_bank_size_mb: int = 1
+    l2_assoc: int = 16
+    l2_latency: int = 6
+    block_bytes: int = 128
+    mshrs: int = 32
+    #: model finite L1 capacity with LRU eviction and PutS/PutM
+    #: writebacks.  Off by default: the lock-centric workloads fit
+    #: comfortably, and infinite capacity keeps runs deterministic with
+    #: respect to unrelated data placement.
+    model_capacity: bool = False
+    #: directory-side NACKing of doomed conditional RMWs (a SWAP that
+    #: would observe "occupied" gets a copy instead of a transaction).
+    #: Off by default — the paper's baseline runs the full
+    #: invalidate-everyone transaction for every competing test_and_set,
+    #: which is precisely the cache-line bouncing its Figure 2 measures.
+    #: Turning this on is a *software-transparent directory optimization*
+    #: that removes most of the traffic iNPG targets (ablation knob).
+    directory_nacks: bool = False
+
+    @property
+    def l1_num_sets(self) -> int:
+        return (self.l1_size_kb * 1024) // (self.block_bytes * self.l1_assoc)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip DRAM parameters (Table 1: 4 GB, 8 controllers)."""
+
+    dram_latency: int = 100
+    num_controllers: int = 8
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh NoC parameters (Table 1: 8x8, XY routing, 2-stage routers)."""
+
+    width: int = 8
+    height: int = 8
+    #: two-stage pipelined speculative router (RC/VA/SA then ST).
+    router_pipeline_cycles: int = 2
+    link_cycles: int = 1
+    vcs_per_port: int = 6
+    flits_per_vc: int = 4
+    datapath_bits: int = 128
+    #: separate control/data virtual networks (Table 1 has 4 VNs); when
+    #: disabled, single-flit control packets queue behind data bursts —
+    #: an ablation knob for the port arbitration model.
+    virtual_networks: bool = True
+    #: run on the detailed flit-level router model instead of the
+    #: packet-level one (validation mode; ~10x slower, no iNPG support).
+    flit_level: bool = False
+    #: one cache block = one 8-flit packet; control messages are 1 flit.
+    data_packet_flits: int = 8
+    ctrl_packet_flits: int = 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinate of a node id."""
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at coordinate (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+
+@dataclass(frozen=True)
+class InpgConfig:
+    """iNPG big-router parameters (Section 4, Table 1).
+
+    The default deployment interleaves 32 big routers with 32 normal ones on
+    the 8x8 mesh (paper Figure 3).
+    """
+
+    enabled: bool = False
+    num_big_routers: int = 32
+    #: number of lock-barrier entries in the locking barrier table.
+    barrier_table_size: int = 16
+    #: early-invalidation entries available per big router (shared pool, as
+    #: Figure 6 sizes 16 lock barriers and 16 EI entries).
+    ei_entries: int = 16
+    #: time-to-live for an idle lock barrier, cycles (Section 4.1).
+    barrier_ttl: int = 128
+
+
+@dataclass(frozen=True)
+class OcorConfig:
+    """OCOR parameters (Table 1: 128 retries, 9 priority levels)."""
+
+    enabled: bool = False
+    retry_times: int = 128
+    priority_levels: int = 9
+    retries_per_level: int = 16
+    #: lowest level is reserved for wakeup (post-sleep) requests.
+    wakeup_level: int = 0
+    #: anti-starvation aging: a queued request gains one priority level
+    #: per this many waiting cycles (the paper embeds "program progress
+    #: information ... to avoid starvation for low-priority requests").
+    aging_cycles: int = 2000
+
+
+@dataclass(frozen=True)
+class OsConfig:
+    """OS model parameters for the queue spin-lock sleep phase.
+
+    Linux 4.2 QSL spins up to 128 times, then context-switches out.  The
+    sleep path costs a context switch on the way out plus a wakeup (IPI +
+    switch-in) on the way back; both are far larger than a spin retry.
+    """
+
+    qsl_spin_retries: int = 128
+    context_switch_cycles: int = 600
+    wakeup_cycles: int = 400
+
+
+@dataclass(frozen=True)
+class LockSpinConfig:
+    """Spin-loop pacing shared by all primitives."""
+
+    #: cycles between successive retries / polls.
+    spin_interval: int = 20
+    #: cycles to execute the local ADD/compare before an RMW attempt.
+    local_op_cycles: int = 2
+    #: raw spinning (the paper's Section 2.1: "each core repeatedly
+    #: executes an atomic test_and_set"): every TAS/QSL retry is an
+    #: atomic SWAP attempt generating a GetX, and losers receive fresh
+    #: copies from the winner each round.  False switches to
+    #: test-and-test-and-set (poll a local copy, swap only on observed
+    #: free) — a common software optimization that removes most of the
+    #: lock coherence traffic iNPG targets (ablation knob).
+    raw_spin: bool = True
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Aggregate configuration for one simulated many-core run."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    noc: NocConfig = field(default_factory=NocConfig)
+    inpg: InpgConfig = field(default_factory=InpgConfig)
+    ocor: OcorConfig = field(default_factory=OcorConfig)
+    os: OsConfig = field(default_factory=OsConfig)
+    spin: LockSpinConfig = field(default_factory=LockSpinConfig)
+    #: one thread per core, as in the paper.
+    num_threads: int = 64
+    seed: int = 2018
+
+    def with_mechanism(self, mechanism: str) -> "SystemConfig":
+        """Return a copy configured as one of the paper's four cases.
+
+        ``mechanism`` is one of ``original``, ``ocor``, ``inpg``,
+        ``inpg+ocor`` (case-insensitive).
+        """
+        key = mechanism.lower().replace(" ", "")
+        if key == "original":
+            return replace(
+                self,
+                inpg=replace(self.inpg, enabled=False),
+                ocor=replace(self.ocor, enabled=False),
+            )
+        if key == "ocor":
+            return replace(
+                self,
+                inpg=replace(self.inpg, enabled=False),
+                ocor=replace(self.ocor, enabled=True),
+            )
+        if key == "inpg":
+            return replace(
+                self,
+                inpg=replace(self.inpg, enabled=True),
+                ocor=replace(self.ocor, enabled=False),
+            )
+        if key in ("inpg+ocor", "ocor+inpg", "both"):
+            return replace(
+                self,
+                inpg=replace(self.inpg, enabled=True),
+                ocor=replace(self.ocor, enabled=True),
+            )
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+#: The four comparative cases of Section 5.1.
+MECHANISMS = ("original", "ocor", "inpg", "inpg+ocor")

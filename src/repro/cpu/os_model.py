@@ -1,0 +1,78 @@
+"""Operating-system model: the queue spin-lock sleep/wake machinery.
+
+Linux-4.2-style queue spin-lock behaviour (Section 2.1(5)): a thread that
+exhausts its spin budget context-switches out and its lock request parks
+in a per-lock wait queue; unlocking wakes the oldest sleeper.  The model
+charges a context switch on the way out, and wake-IPI latency plus a
+context switch on the way back in — the "high-overhead sleep phase" OCOR
+exists to avoid.
+
+The lost-wakeup race (lock released while a thread is mid-switch-out) is
+closed the way real kernels do, by re-checking the lock word after
+enqueueing: if it is already free, the thread wakes itself immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Tuple, TYPE_CHECKING
+
+from ..config import OsConfig
+from ..sim import Component, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.memsystem import MemorySystem
+
+WakeCallback = Callable[[], None]
+
+
+class OsModel(Component):
+    """Per-run OS scheduler state for sleeping lock waiters."""
+
+    def __init__(self, sim: Simulator, config: OsConfig, memsys: "MemorySystem"):
+        super().__init__(sim, "os")
+        self.config = config
+        self.memsys = memsys
+        self._wait_queues: Dict[int, Deque[Tuple[int, WakeCallback]]] = {}
+        self.sleeps = 0
+        self.wakeups = 0
+        self.self_wakeups = 0
+
+    def sleep(
+        self,
+        lock_id: int,
+        lock_addr: int,
+        core: int,
+        on_wake: WakeCallback,
+    ) -> None:
+        """Park ``core`` on ``lock_id``'s wait queue.
+
+        The caller has already paid the switch-out cost.  ``on_wake`` fires
+        after the wake latency; the woken thread then pays its switch-in
+        cost itself.
+        """
+        self.sleeps += 1
+        queue = self._wait_queues.setdefault(lock_id, deque())
+        queue.append((core, on_wake))
+        # Lost-wakeup guard: the lock may have been freed while we were
+        # switching out, with nobody left to notify us.
+        if self.memsys.read(lock_addr) == 0:
+            self._wake_one(lock_id, self_wake=True)
+
+    def notify_release(self, lock_id: int) -> None:
+        """The lock holder released; wake the oldest sleeper, if any."""
+        self._wake_one(lock_id, self_wake=False)
+
+    def _wake_one(self, lock_id: int, self_wake: bool) -> None:
+        queue = self._wait_queues.get(lock_id)
+        if not queue:
+            return
+        _core, on_wake = queue.popleft()
+        self.wakeups += 1
+        if self_wake:
+            self.self_wakeups += 1
+        self.after(self.config.wakeup_cycles, on_wake)
+
+    def sleeping_count(self, lock_id: int) -> int:
+        queue = self._wait_queues.get(lock_id)
+        return len(queue) if queue else 0

@@ -1,0 +1,176 @@
+"""A small program abstraction for driving cores directly.
+
+The benchmark workloads use the fixed parallel/acquire/CS/release loop of
+the paper's Figure 1.  For finer-grained studies (and for users building
+their own experiments), this module provides a tiny instruction set and
+an in-order core that executes it against the coherent memory system:
+
+    from repro.cpu.program import Program, think, load, store, rmw, \
+        acquire, release, repeat
+
+    prog = Program([
+        repeat(3, [
+            think(200),
+            acquire(0),
+            load(DATA), store(DATA, 1),
+            release(0),
+        ]),
+    ])
+
+Each instruction completes before the next issues (in-order, blocking),
+matching how the lock FSMs use the memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..sim import Component, Simulator
+
+#: instruction opcodes
+THINK, LOAD, STORE, RMW, ACQUIRE, RELEASE = (
+    "think", "load", "store", "rmw", "acquire", "release"
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: str
+    a: int = 0
+    b: int = 0
+    fn: Optional[Callable[[int], Tuple[int, int]]] = None
+
+
+def think(cycles: int) -> Instruction:
+    """Local computation for ``cycles``."""
+    if cycles < 0:
+        raise ValueError("think cycles must be non-negative")
+    return Instruction(THINK, cycles)
+
+
+def load(addr: int) -> Instruction:
+    return Instruction(LOAD, addr)
+
+
+def store(addr: int, value: int) -> Instruction:
+    return Instruction(STORE, addr, value)
+
+
+def rmw(addr: int, fn: Callable[[int], Tuple[int, int]]) -> Instruction:
+    """Atomic read-modify-write: ``fn(old) -> (new, returned)``."""
+    return Instruction(RMW, addr, fn=fn)
+
+
+def acquire(lock_index: int) -> Instruction:
+    return Instruction(ACQUIRE, lock_index)
+
+
+def release(lock_index: int) -> Instruction:
+    return Instruction(RELEASE, lock_index)
+
+
+def repeat(times: int, body: Sequence[Instruction]) -> List[Instruction]:
+    """Unrolled loop."""
+    if times < 0:
+        raise ValueError("repeat count must be non-negative")
+    out: List[Instruction] = []
+    for _ in range(times):
+        out.extend(body)
+    return out
+
+
+def _flatten(items) -> List[Instruction]:
+    out: List[Instruction] = []
+    for item in items:
+        if isinstance(item, Instruction):
+            out.append(item)
+        else:
+            out.extend(_flatten(item))
+    return out
+
+
+@dataclass
+class Program:
+    """A flat instruction sequence (nested lists are flattened)."""
+
+    instructions: List[Instruction]
+
+    def __init__(self, instructions):
+        self.instructions = _flatten(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ProgramCore(Component):
+    """An in-order core executing a :class:`Program`.
+
+    ``locks`` maps the ACQUIRE/RELEASE lock indices to lock primitives;
+    loads/stores/RMWs go straight to the memory system.  ``on_done``
+    fires when the program retires; per-instruction retirement times are
+    recorded in :attr:`retired`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: int,
+        program: Program,
+        memsys,
+        locks: Sequence = (),
+        on_done: Optional[Callable[[int], None]] = None,
+    ):
+        super().__init__(sim, f"progcore{core}")
+        self.core = core
+        self.program = program
+        self.memsys = memsys
+        self.locks = locks
+        self.on_done = on_done
+        self.pc = 0
+        self.retired: List[Tuple[int, str]] = []
+        self.last_value: Optional[int] = None
+        self.done = False
+
+    def start(self) -> None:
+        self._step()
+
+    def _retire(self, op: str, value: Optional[int] = None) -> None:
+        self.retired.append((self.now, op))
+        if value is not None:
+            self.last_value = value
+        self.pc += 1
+        self._step()
+
+    def _step(self) -> None:
+        if self.pc >= len(self.program.instructions):
+            self.done = True
+            if self.on_done is not None:
+                self.on_done(self.core)
+            return
+        ins = self.program.instructions[self.pc]
+        if ins.op == THINK:
+            self.after(ins.a, lambda: self._retire(THINK))
+        elif ins.op == LOAD:
+            self.memsys.load(
+                self.core, ins.a, lambda v: self._retire(LOAD, v)
+            )
+        elif ins.op == STORE:
+            self.memsys.store(
+                self.core, ins.a, ins.b, lambda v: self._retire(STORE, v)
+            )
+        elif ins.op == RMW:
+            self.memsys.rmw(
+                self.core, ins.a, ins.fn,
+                lambda v: self._retire(RMW, v), ll_sc=True,
+            )
+        elif ins.op == ACQUIRE:
+            self.locks[ins.a].acquire(
+                self.core, lambda: self._retire(ACQUIRE)
+            )
+        elif ins.op == RELEASE:
+            self.locks[ins.a].release(
+                self.core, lambda: self._retire(RELEASE)
+            )
+        else:  # pragma: no cover - constructor-validated
+            raise RuntimeError(f"unknown instruction {ins.op}")

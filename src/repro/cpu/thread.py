@@ -1,0 +1,86 @@
+"""Worker thread model.
+
+A thread runs the canonical loop of the paper's Figure 1: parallel
+computation, then competition for a critical section, the CS body, and
+release.  Phase boundaries feed the timeline (Figure 9) and per-thread
+metrics (COH / CSE accounting for Figures 8, 11, 12).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TYPE_CHECKING
+
+from ..sim import Component, Simulator
+from ..stats.metrics import ThreadMetrics
+from ..stats.timeline import Timeline
+from ..workloads.generator import WorkItem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..locks.base import LockPrimitive
+
+
+class WorkerThread(Component):
+    """One software thread pinned to one core (as in the paper)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        thread_id: int,
+        core: int,
+        items: Sequence[WorkItem],
+        locks: Sequence["LockPrimitive"],
+        metrics: ThreadMetrics,
+        timeline: Timeline,
+        on_done: Callable[[int], None],
+    ):
+        super().__init__(sim, f"thread{thread_id}")
+        self.thread_id = thread_id
+        self.core = core
+        self.items = list(items)
+        self.locks = locks
+        self.metrics = metrics
+        self.timeline = timeline
+        self.on_done = on_done
+        self.done = False
+        self._index = 0
+
+    def start(self) -> None:
+        self._next_item()
+
+    # ------------------------------------------------------------------
+    def _next_item(self) -> None:
+        if self._index >= len(self.items):
+            self.done = True
+            self.on_done(self.thread_id)
+            return
+        item = self.items[self._index]
+        self._index += 1
+        self.timeline.begin(self.thread_id, "parallel", self.now)
+        start = self.now
+        self.after(
+            item.parallel_cycles, lambda: self._enter_competition(item, start)
+        )
+
+    def _enter_competition(self, item: WorkItem, parallel_start: int) -> None:
+        self.metrics.parallel_cycles += self.now - parallel_start
+        self.timeline.begin(self.thread_id, "coh", self.now)
+        coh_start = self.now
+        lock = self.locks[item.lock_index]
+        lock.acquire(self.core, lambda: self._enter_cs(item, lock, coh_start))
+
+    def _enter_cs(self, item: WorkItem, lock, coh_start: int) -> None:
+        self.metrics.coh_cycles += self.now - coh_start
+        self.timeline.begin(self.thread_id, "cse", self.now)
+        cse_start = self.now
+        self.after(
+            item.cs_cycles, lambda: self._release(lock, cse_start)
+        )
+
+    def _release(self, lock, cse_start: int) -> None:
+        lock.release(self.core, lambda: self._released(cse_start))
+
+    def _released(self, cse_start: int) -> None:
+        self.metrics.cse_cycles += self.now - cse_start
+        self.metrics.cs_completed += 1
+        self.timeline.end(self.thread_id, self.now)
+        self._next_item()

@@ -1,0 +1,57 @@
+"""Experiment harnesses: one module per table/figure in the paper.
+
+======================  ==============================================
+Module                  Paper content
+======================  ==============================================
+``table1_config``       Table 1 — platform configuration
+``fig02_lco``           Figure 2 — LCO share per primitive
+``fig07_synthesis``     Figure 7 — router synthesis accounting
+``fig08_cs_chars``      Figure 8 — CS characteristics and groups
+``fig09_timing_profile`` Figure 9 — freqmine phase timing profile
+``fig10_rtt``           Figure 10 — Inv-Ack round-trip delays
+``fig11_cs_expedition`` Figure 11 — CS expedition by mechanism
+``fig12_roi``           Figure 12 — ROI finish time by mechanism
+``fig13_primitives``    Figure 13 — iNPG per locking primitive
+``fig14_deployment``    Figure 14 — big-router deployment sweep
+``fig15_sensitivity``   Figure 15 — mesh size and table size sweep
+======================  ==============================================
+"""
+
+from . import (
+    ablation_lco,
+    fig02_lco,
+    fig07_synthesis,
+    fig08_cs_chars,
+    fig09_timing_profile,
+    fig10_rtt,
+    fig11_cs_expedition,
+    fig12_roi,
+    fig13_primitives,
+    fig14_deployment,
+    fig15_sensitivity,
+    table1_config,
+)
+from .common import benchmarks_for, cached_run, clear_cache, format_table
+from .sweep import Sweep, SweepPoint, vary
+
+__all__ = [
+    "ablation_lco",
+    "benchmarks_for",
+    "cached_run",
+    "clear_cache",
+    "fig02_lco",
+    "fig07_synthesis",
+    "fig08_cs_chars",
+    "fig09_timing_profile",
+    "fig10_rtt",
+    "fig11_cs_expedition",
+    "fig12_roi",
+    "fig13_primitives",
+    "fig14_deployment",
+    "fig15_sensitivity",
+    "format_table",
+    "Sweep",
+    "SweepPoint",
+    "table1_config",
+    "vary",
+]

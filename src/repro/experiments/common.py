@@ -1,0 +1,140 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment module exposes ``run(...) -> <FigureResult>`` returning a
+structured result, plus ``main()`` that prints the same rows/series the
+paper's figure reports.  Results cache within a process so figures that
+share runs (11 and 12 use the same 24x4 matrix) don't recompute them.
+
+Scaling: the ``scale`` knob multiplies per-thread CS counts; ``quick``
+restricts benchmark sweeps to a representative subset (two programs per
+Figure 8 group) so the pytest-benchmark suite stays fast.  Set the
+environment variable ``REPRO_FULL=1`` (or pass ``quick=False``) to sweep
+all 24 programs as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import MECHANISMS, SystemConfig
+from ..stats.metrics import RunResult
+from ..system import run_benchmark
+from ..workloads.profiles import ALL_PROFILES, group_of, grouped_profiles
+
+#: cache of completed runs, keyed by everything that identifies one
+_RUN_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def full_sweep_enabled() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def benchmarks_for(quick: bool) -> List[str]:
+    """All 24 programs, or a representative 6 (two per group) when quick."""
+    if not quick:
+        return [p.name for p in ALL_PROFILES]
+    groups = grouped_profiles()
+    picks: List[str] = []
+    for group in (1, 2, 3):
+        members = groups[group]
+        picks.append(members[0].name)
+        picks.append(members[-1].name)
+    return picks
+
+
+def cached_run(
+    benchmark: str,
+    mechanism: str,
+    primitive: str = "qsl",
+    scale: float = 1.0,
+    seed: int = 2018,
+    config: Optional[SystemConfig] = None,
+) -> RunResult:
+    """Run (or reuse) one simulation."""
+    key = (benchmark, mechanism, primitive, scale, seed, config)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run_benchmark(
+            benchmark,
+            mechanism=mechanism,
+            primitive=primitive,
+            config=config,
+            seed=seed,
+            scale=scale,
+        )
+    return _RUN_CACHE[key]
+
+
+def clear_cache() -> None:
+    _RUN_CACHE.clear()
+
+
+def run_mechanism_matrix(
+    benchmarks: Sequence[str],
+    mechanisms: Sequence[str] = MECHANISMS,
+    primitive: str = "qsl",
+    scale: float = 1.0,
+    config: Optional[SystemConfig] = None,
+) -> Dict[Tuple[str, str], RunResult]:
+    """The paper's four-case comparison over a benchmark list."""
+    out = {}
+    for bench in benchmarks:
+        for mech in mechanisms:
+            out[(bench, mech)] = cached_run(
+                bench, mech, primitive=primitive, scale=scale, config=config
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Aggregation helpers
+# ----------------------------------------------------------------------
+def arithmetic_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def by_group(benchmarks: Sequence[str]) -> Dict[int, List[str]]:
+    """Partition a benchmark list by the Figure 8 groups."""
+    out: Dict[int, List[str]] = {1: [], 2: [], 3: []}
+    for bench in benchmarks:
+        out[group_of(bench)].append(bench)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Plain-text table rendering
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

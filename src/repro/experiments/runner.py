@@ -1,0 +1,93 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    inpg-experiments list
+    inpg-experiments table1
+    inpg-experiments fig10
+    inpg-experiments all --quick
+    inpg-experiments fig12 --full     # sweep all 24 programs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablation_lco,
+    fig02_lco,
+    fig07_synthesis,
+    fig08_cs_chars,
+    fig09_timing_profile,
+    fig10_rtt,
+    fig11_cs_expedition,
+    fig12_roi,
+    fig13_primitives,
+    fig14_deployment,
+    fig15_sensitivity,
+    table1_config,
+)
+
+#: experiment name -> (module, takes quick kwarg)
+EXPERIMENTS = {
+    "ablation": (ablation_lco, False),
+    "table1": (table1_config, False),
+    "fig2": (fig02_lco, False),
+    "fig7": (fig07_synthesis, False),
+    "fig8": (fig08_cs_chars, True),
+    "fig9": (fig09_timing_profile, False),
+    "fig10": (fig10_rtt, False),
+    "fig11": (fig11_cs_expedition, True),
+    "fig12": (fig12_roi, True),
+    "fig13": (fig13_primitives, True),
+    "fig14": (fig14_deployment, True),
+    "fig15": (fig15_sensitivity, True),
+}
+
+
+def run_one(name: str, quick: bool) -> str:
+    module, takes_quick = EXPERIMENTS[name]
+    if takes_quick:
+        result = module.run(quick=quick)
+    else:
+        result = module.run()
+    return result.render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="inpg-experiments",
+        description="Regenerate the iNPG paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="sweep all 24 benchmark programs (slow)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="representative 6-benchmark subset (default)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    quick = not args.full
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(f"=== {name} ===")
+        print(run_one(name, quick))
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Generic configuration sweeps with replication.
+
+The figure harnesses hand-roll their specific sweeps; this module offers
+the general tool for users: a cartesian sweep over configuration editors
+with optional multi-seed replication and mean/spread aggregation.
+
+Example::
+
+    from repro.experiments.sweep import Sweep, vary
+
+    sweep = Sweep(
+        benchmark="freqmine",
+        primitive="qsl",
+        axes={
+            "mechanism": vary("original", "inpg"),
+            "big_routers": vary(16, 32, configure=set_big_routers),
+        },
+        seeds=(1, 2, 3),
+    )
+    for point in sweep.run():
+        print(point.coordinates, point.mean("roi_cycles"))
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..stats.metrics import RunResult
+from ..system import run_benchmark
+
+#: axis configurator: (config, value) -> config
+Configurator = Callable[[SystemConfig, object], SystemConfig]
+
+
+@dataclass(frozen=True)
+class Axis:
+    values: Tuple[object, ...]
+    configure: Optional[Configurator] = None
+
+
+def vary(*values: object, configure: Optional[Configurator] = None) -> Axis:
+    """Declare one sweep axis."""
+    if not values:
+        raise ValueError("an axis needs at least one value")
+    return Axis(values=tuple(values), configure=configure)
+
+
+def _apply(config: SystemConfig, name: str, value, axis: Axis) -> SystemConfig:
+    if axis.configure is not None:
+        return axis.configure(config, value)
+    if name == "mechanism":
+        return config.with_mechanism(str(value))
+    raise ValueError(
+        f"axis {name!r} needs a configure= function "
+        f"(only 'mechanism' is built in)"
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One coordinate of the sweep with its replicated results."""
+
+    coordinates: Dict[str, object]
+    results: List[RunResult] = field(default_factory=list)
+
+    def values(self, metric: str) -> List[float]:
+        return [r.summary()[metric] for r in self.results]
+
+    def mean(self, metric: str) -> float:
+        vals = self.values(metric)
+        return sum(vals) / len(vals)
+
+    def stderr(self, metric: str) -> float:
+        vals = self.values(metric)
+        if len(vals) < 2:
+            return 0.0
+        mean = sum(vals) / len(vals)
+        var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+        return math.sqrt(var / len(vals))
+
+
+@dataclass
+class Sweep:
+    benchmark: str
+    axes: Dict[str, Axis]
+    primitive: str = "qsl"
+    seeds: Sequence[int] = (2018,)
+    scale: float = 1.0
+    base_config: Optional[SystemConfig] = None
+
+    def points(self) -> Iterable[Dict[str, object]]:
+        names = list(self.axes)
+        for combo in itertools.product(
+            *(self.axes[n].values for n in names)
+        ):
+            yield dict(zip(names, combo))
+
+    def run(self) -> List[SweepPoint]:
+        out: List[SweepPoint] = []
+        for coords in self.points():
+            config = self.base_config or SystemConfig()
+            for name, value in coords.items():
+                config = _apply(config, name, value, self.axes[name])
+            point = SweepPoint(coordinates=dict(coords))
+            for seed in self.seeds:
+                point.results.append(
+                    run_benchmark(
+                        self.benchmark,
+                        mechanism=None,  # already baked into config
+                        primitive=self.primitive,
+                        config=config,
+                        seed=seed,
+                        scale=self.scale,
+                    )
+                )
+            out.append(point)
+        return out

@@ -1,0 +1,174 @@
+"""The locking barrier table inside a big router (paper Figure 6).
+
+Each *lock barrier* entry holds the memory address of a lock variable and a
+time-to-live (TTL).  Under a barrier, each stopped GetX request gets an
+*early invalidation* (EI) entry tracking four phases:
+
+    Inv generated -> GetX forwarded -> InvAck received -> InvAck forwarded
+
+An EI entry is freed once all four phases complete.  The barrier's TTL
+(default 128 cycles) counts down only while the barrier has no EI entries
+and resets whenever one is created; the barrier is deleted when the TTL
+reaches zero.  When the table is full, GetX requests pass through as in a
+normal router (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from ..sim import Event, Simulator
+
+
+class EIPhase(Enum):
+    """Lifecycle phases of an early-invalidation entry (Figure 6)."""
+
+    INV_GENERATED = "Inv"
+    GETX_FORWARDED = "GetXFwd"
+    INVACK_RECEIVED = "InvAck"
+    ACK_FORWARDED = "AckFwd"
+
+
+@dataclass
+class EIEntry:
+    """Tracks one stopped GetX / early invalidation."""
+
+    core: int
+    phase: EIPhase = EIPhase.INV_GENERATED
+
+
+@dataclass
+class LockBarrier:
+    """A temporary barrier for one lock address."""
+
+    addr: int
+    created_cycle: int
+    ei: Dict[int, EIEntry] = field(default_factory=dict)
+    _expiry: Optional[Event] = None
+
+
+class LockingBarrierTable:
+    """The barrier + EI storage of one big router.
+
+    ``capacity`` bounds the number of concurrent lock barriers and
+    ``ei_capacity`` the number of EI entries across all barriers (the
+    paper sizes both at 16 by default).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 16,
+        ei_capacity: int = 16,
+        ttl: int = 128,
+    ):
+        if capacity < 1 or ei_capacity < 1:
+            raise ValueError("barrier table capacities must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.ei_capacity = ei_capacity
+        self.ttl = ttl
+        self.barriers: Dict[int, LockBarrier] = {}
+        self.barriers_created = 0
+        self.barriers_expired = 0
+        self.ei_created = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_barrier(self, addr: int) -> bool:
+        return addr in self.barriers
+
+    @property
+    def ei_in_use(self) -> int:
+        return sum(len(b.ei) for b in self.barriers.values())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.barriers) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Barrier lifecycle
+    # ------------------------------------------------------------------
+    def create_barrier(self, addr: int) -> bool:
+        """Create a barrier for ``addr``; False when the table is full."""
+        if addr in self.barriers:
+            return True
+        if self.is_full:
+            return False
+        barrier = LockBarrier(addr=addr, created_cycle=self.sim.cycle)
+        self.barriers[addr] = barrier
+        self.barriers_created += 1
+        self._arm_ttl(barrier)
+        return True
+
+    def _arm_ttl(self, barrier: LockBarrier) -> None:
+        if barrier._expiry is not None:
+            barrier._expiry.cancel()
+        barrier._expiry = self.sim.schedule(
+            self.ttl, lambda: self._expire(barrier.addr)
+        )
+
+    def _disarm_ttl(self, barrier: LockBarrier) -> None:
+        if barrier._expiry is not None:
+            barrier._expiry.cancel()
+            barrier._expiry = None
+
+    def _expire(self, addr: int) -> None:
+        barrier = self.barriers.get(addr)
+        if barrier is None or barrier.ei:
+            return
+        del self.barriers[addr]
+        self.barriers_expired += 1
+
+    # ------------------------------------------------------------------
+    # Early-invalidation entries
+    # ------------------------------------------------------------------
+    def try_stop(self, addr: int, core: int) -> bool:
+        """Allocate an EI entry for a stopped GetX from ``core``.
+
+        Returns False (pass the request through) when there is no barrier,
+        the EI pool is exhausted, or an entry for this (addr, core) pair is
+        already in flight.
+        """
+        barrier = self.barriers.get(addr)
+        if barrier is None:
+            return False
+        if core in barrier.ei:
+            return False
+        if self.ei_in_use >= self.ei_capacity:
+            return False
+        barrier.ei[core] = EIEntry(core=core)
+        self.ei_created += 1
+        # an EI entry resets and suspends the TTL countdown
+        self._disarm_ttl(barrier)
+        return True
+
+    def mark_getx_forwarded(self, addr: int, core: int) -> None:
+        entry = self._entry(addr, core)
+        if entry is not None:
+            entry.phase = EIPhase.GETX_FORWARDED
+
+    def mark_ack_received(self, addr: int, core: int) -> None:
+        entry = self._entry(addr, core)
+        if entry is not None:
+            entry.phase = EIPhase.INVACK_RECEIVED
+
+    def mark_ack_forwarded(self, addr: int, core: int) -> None:
+        """Final phase: frees the EI entry; may restart the barrier TTL."""
+        barrier = self.barriers.get(addr)
+        if barrier is None:
+            return
+        entry = barrier.ei.pop(core, None)
+        if entry is not None:
+            entry.phase = EIPhase.ACK_FORWARDED
+        if not barrier.ei:
+            self._arm_ttl(barrier)
+
+    def _entry(self, addr: int, core: int) -> Optional[EIEntry]:
+        barrier = self.barriers.get(addr)
+        if barrier is None:
+            return None
+        return barrier.ei.get(core)

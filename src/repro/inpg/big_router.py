@@ -1,0 +1,153 @@
+"""The iNPG "big" router: a normal router plus a packet generator.
+
+Behaviour (Sections 3.3 and 4.1):
+
+* The first atomic GetX for a lock address that this router transfers
+  creates a temporary *lock barrier* and travels on (it may become the
+  transaction winner at the home node).
+* A subsequent atomic GetX for a barriered address is *stopped*: the big
+  router generates an early invalidation (Inv) straight to the issuing
+  core's L1 and forwards the request itself to the home node (the paper's
+  GetX -> FwdGetX conversion; we tag the in-flight message
+  ``early_invalidated`` — it is queued at the home like any losing GetX).
+* The invalidated core acknowledges back to this router, which relays the
+  InvAck to the home node (phase AckFwd); the home prunes the sharer and,
+  if a transaction is in flight, relays the ack to the winner.
+* When the barrier table is full, GetX requests pass through unmodified.
+
+Plain (non-atomic) stores and every other message type are never touched:
+the router behaves exactly like a normal router for them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..coherence.messages import CoherenceMessage, MessageType
+from ..noc.packet import Packet
+from ..noc.router import CONTINUE, STOPPED, Router
+from ..sim import Simulator
+from .barrier_table import LockingBarrierTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import InpgConfig
+    from ..noc.network import Network
+
+
+class BigRouter(Router):
+    """A router with in-network packet generation capability."""
+
+    is_big = True
+
+    def __init__(
+        self, sim: Simulator, node: int, network: "Network", inpg: "InpgConfig"
+    ):
+        super().__init__(sim, node, network)
+        self.table = LockingBarrierTable(
+            sim,
+            capacity=inpg.barrier_table_size,
+            ei_capacity=inpg.ei_entries,
+            ttl=inpg.barrier_ttl,
+        )
+        self.invs_generated = 0
+        self.getx_stopped = 0
+        self.acks_forwarded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _memsys(self):
+        memsys = getattr(self.network, "memsys", None)
+        if memsys is None:
+            raise RuntimeError("BigRouter requires network.memsys to be attached")
+        return memsys
+
+    def inspect(self, packet: Packet) -> str:
+        msg = packet.payload
+        if not isinstance(msg, CoherenceMessage):
+            return CONTINUE
+        if (
+            msg.mtype is MessageType.INV_ACK
+            and msg.early
+            and msg.via_router == self.node
+            and packet.dst == self.node
+        ):
+            self._forward_early_ack(packet, msg)
+            return STOPPED
+        if (
+            msg.mtype is MessageType.GETX
+            and msg.is_atomic
+            and msg.holds_copy
+            and not msg.early_invalidated
+            and packet.dst != self.node
+        ):
+            return self._on_lock_getx(packet, msg)
+        return CONTINUE
+
+    # ------------------------------------------------------------------
+    # GetX barrier logic
+    # ------------------------------------------------------------------
+    def _on_lock_getx(self, packet: Packet, msg: CoherenceMessage) -> str:
+        stats = self._memsys.stats
+        if not self.table.has_barrier(msg.addr):
+            if not self.table.create_barrier(msg.addr):
+                stats.barrier_table_overflows += 1
+            return CONTINUE
+        if not self.table.try_stop(msg.addr, msg.requester):
+            stats.barrier_table_overflows += 1
+            return CONTINUE
+        # Stop the request: generate the early invalidation...
+        self.getx_stopped += 1
+        stats.getx_stopped += 1
+        self._generate_inv(msg)
+        # ...and forward the (converted) request toward the home node.
+        msg.early_invalidated = True
+        self.table.mark_getx_forwarded(msg.addr, msg.requester)
+        self.forward_now(packet)
+        return STOPPED
+
+    def _generate_inv(self, msg: CoherenceMessage) -> None:
+        self.invs_generated += 1
+        stats = self._memsys.stats
+        stats.early_invs_generated += 1
+        inv = CoherenceMessage(
+            mtype=MessageType.INV,
+            addr=msg.addr,
+            requester=-1,
+            sender=self.node,
+            inv_target=msg.requester,
+            inv_created_cycle=self.now,
+            early=True,
+            via_router=self.node,
+        )
+        stats.count(inv.mtype.value)
+        packet = Packet(
+            src=self.node,
+            dst=msg.requester,
+            payload=inv,
+            size_flits=self.network.config.ctrl_packet_flits,
+        )
+        self.network.reinject(self.node, packet)
+
+    # ------------------------------------------------------------------
+    # InvAck relay
+    # ------------------------------------------------------------------
+    def _forward_early_ack(self, packet: Packet, msg: CoherenceMessage) -> None:
+        self.acks_forwarded += 1
+        self.network.consume(packet)
+        self.table.mark_ack_received(msg.addr, msg.inv_target)
+        # The Inv-Ack round trip completes here: this router generated the
+        # Inv and has now received the ack (Figure 10's measurement).
+        self._memsys.stats.inv_completed(
+            msg.inv_target, msg.inv_created_cycle, self.now, early=True
+        )
+        home = self._memsys.home_of(msg.addr)
+        msg.dest_is_home = True
+        msg.sender = self.node
+        self.table.mark_ack_forwarded(msg.addr, msg.inv_target)
+        forwarded = Packet(
+            src=self.node,
+            dst=home,
+            payload=msg,
+            size_flits=self.network.config.ctrl_packet_flits,
+        )
+        self.network.reinject(self.node, forwarded)

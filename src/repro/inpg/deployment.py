@@ -1,0 +1,44 @@
+"""Big-router placement strategies.
+
+The paper's default deploys 32 big routers interleaved with 32 normal ones
+on the 8x8 mesh (Figure 3) and sweeps 0/4/16/32/64 big routers distributed
+evenly on the chip (Section 5.2.6).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..noc.topology import Mesh
+
+
+def interleaved_nodes(mesh: Mesh) -> FrozenSet[int]:
+    """Checkerboard pattern: every other tile hosts a big router (Fig. 3)."""
+    nodes = set()
+    for node in range(mesh.num_nodes):
+        x, y = mesh.coords(node)
+        if (x + y) % 2 == 1:
+            nodes.add(node)
+    return frozenset(nodes)
+
+
+def evenly_spread_nodes(mesh: Mesh, count: int) -> FrozenSet[int]:
+    """``count`` big routers distributed evenly over the mesh.
+
+    * 0 -> none (the Original setup);
+    * N/2 -> the checkerboard interleaving of Figure 3;
+    * N -> every router is big;
+    * otherwise, evenly strided sampling of the row-major node order,
+      offset to avoid clustering at the mesh border.
+    """
+    total = mesh.num_nodes
+    if count < 0 or count > total:
+        raise ValueError(f"cannot place {count} big routers on {total} nodes")
+    if count == 0:
+        return frozenset()
+    if count == total:
+        return frozenset(range(total))
+    if count * 2 == total:
+        return interleaved_nodes(mesh)
+    stride = total / count
+    return frozenset(int(stride / 2 + i * stride) for i in range(count))

@@ -1,0 +1,92 @@
+"""Big-router activity reports.
+
+Aggregates per-router iNPG statistics from a finished
+:class:`~repro.system.ManyCoreSystem` run: how many lock barriers each
+big router created, how many GetX it stopped, early-invalidation volume,
+and table pressure — the numbers behind the paper's choice of a 16-entry
+locking barrier table (Figure 15's discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import ManyCoreSystem
+
+
+@dataclass
+class RouterActivity:
+    node: int
+    barriers_created: int
+    barriers_expired: int
+    ei_created: int
+    getx_stopped: int
+    acks_forwarded: int
+
+    @property
+    def was_active(self) -> bool:
+        return self.barriers_created > 0 or self.getx_stopped > 0
+
+
+@dataclass
+class BigRouterReport:
+    routers: List[RouterActivity] = field(default_factory=list)
+    table_overflows: int = 0
+
+    @property
+    def total_stopped(self) -> int:
+        return sum(r.getx_stopped for r in self.routers)
+
+    @property
+    def total_barriers(self) -> int:
+        return sum(r.barriers_created for r in self.routers)
+
+    @property
+    def active_routers(self) -> int:
+        return sum(1 for r in self.routers if r.was_active)
+
+    def hottest(self, count: int = 5) -> List[RouterActivity]:
+        return sorted(
+            self.routers, key=lambda r: r.getx_stopped, reverse=True
+        )[:count]
+
+    def render(self) -> str:
+        lines = [
+            f"big routers: {len(self.routers)} deployed, "
+            f"{self.active_routers} active",
+            f"lock barriers created: {self.total_barriers}, "
+            f"GetX stopped: {self.total_stopped}, "
+            f"table overflows: {self.table_overflows}",
+            "hottest routers (by stopped GetX):",
+        ]
+        for r in self.hottest():
+            lines.append(
+                f"  node {r.node:>3}: stopped={r.getx_stopped:<6} "
+                f"barriers={r.barriers_created:<6} "
+                f"expired={r.barriers_expired:<6} ei={r.ei_created}"
+            )
+        return "\n".join(lines)
+
+
+def collect_report(system: "ManyCoreSystem") -> BigRouterReport:
+    """Build a report from a (finished) system's big routers."""
+    report = BigRouterReport(
+        table_overflows=system.memsys.stats.barrier_table_overflows
+    )
+    for node, router in sorted(system.network.routers.items()):
+        if not getattr(router, "is_big", False):
+            continue
+        table = router.table
+        report.routers.append(
+            RouterActivity(
+                node=node,
+                barriers_created=table.barriers_created,
+                barriers_expired=table.barriers_expired,
+                ei_created=table.ei_created,
+                getx_stopped=router.getx_stopped,
+                acks_forwarded=router.acks_forwarded,
+            )
+        )
+    return report

@@ -1,0 +1,24 @@
+"""The five locking primitives evaluated in the paper (Section 2.1)."""
+
+from .abql import AbqlLock
+from .barrier import SenseBarrier
+from .base import AddressSpace, LockPrimitive
+from .factory import PRIMITIVES, canonical_primitive, make_lock
+from .mcs import McsLock
+from .qsl import QueueSpinLock
+from .tas import TasLock
+from .ticket import TicketLock
+
+__all__ = [
+    "AbqlLock",
+    "AddressSpace",
+    "LockPrimitive",
+    "McsLock",
+    "PRIMITIVES",
+    "QueueSpinLock",
+    "SenseBarrier",
+    "TasLock",
+    "TicketLock",
+    "canonical_primitive",
+    "make_lock",
+]

@@ -1,0 +1,106 @@
+"""Array-based queuing lock (ABQL), Section 2.1(3) [2, 16].
+
+Each competing core spins on its *own* slot of a flag array (one cache
+block per slot, interleaved across L2 banks), so a release invalidates
+only the next waiter's block instead of every spinner's copy.  Slot
+assignment uses an atomic fetch-and-increment on a tail counter homed with
+the lock, which is where the contended GetX bursts (and hence iNPG's
+leverage) appear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import AcquireCallback, AddressSpace, LockPrimitive, ReleaseCallback
+
+MUST_WAIT = 0
+HAS_LOCK = 1
+
+
+class AbqlLock(LockPrimitive):
+    """Anderson-style array lock with one block per waiting slot."""
+
+    name = "abql"
+
+    def __init__(self, sim, memsys, addr_space: AddressSpace, lock_id, home_node,
+                 config, num_slots: int = 0):
+        super().__init__(sim, memsys, addr_space, lock_id, home_node, config)
+        mesh_nodes = memsys.network.mesh.num_nodes
+        self.num_slots = num_slots or config.num_threads
+        #: the base ``self.addr`` block is the tail counter.
+        self.slot_addrs: List[int] = [
+            addr_space.block((home_node + 1 + i) % mesh_nodes)
+            for i in range(self.num_slots)
+        ]
+        self._my_slot: Dict[int, int] = {}
+        # slot 0 initially holds the lock token (pre-ROI initialization).
+        memsys.values[self.slot_addrs[0]] = HAS_LOCK
+
+    def acquire(self, core: int, callback: AcquireCallback) -> None:
+        def take_slot(old: int):
+            return old + 1, old
+
+        def on_slot(old: int) -> None:
+            slot = old % self.num_slots
+            self._my_slot[core] = slot
+            self._wait_for_token(core, self.slot_addrs[slot], callback)
+
+        # Alpha fetch-and-increment: an LL/SC retry loop in hardware
+        self.memsys.rmw(core, self.addr, take_slot, on_slot, ll_sc=True)
+
+    def _wait_for_token(self, core: int, slot_addr: int,
+                        callback: AcquireCallback) -> None:
+        """Wait on our own slot via the line monitor, then claim it.
+
+        The waiter holds a tracked shared copy of its slot block and
+        sleeps until the releaser's token-passing store invalidates it;
+        seeing the token, an atomic claim takes ownership of the block.
+        """
+        def claim() -> None:
+            self.memsys.rmw(
+                core,
+                slot_addr,
+                lambda old: (old, old),
+                on_claimed,
+                fails_if=lambda v: v != HAS_LOCK,
+            )
+
+        def on_claimed(value: int) -> None:
+            if value == HAS_LOCK:
+                self._acquired(callback)
+            else:
+                wait()
+
+        def wait() -> None:
+            self._monitored_spin(
+                core,
+                slot_addr,
+                passes=lambda v: v == HAS_LOCK,
+                on_pass=lambda _: claim(),
+            )
+
+        wait()
+
+    def _acquired(self, callback: AcquireCallback) -> None:
+        self.acquisitions += 1
+        callback()
+
+    def release(self, core: int, callback: ReleaseCallback) -> None:
+        slot = self._my_slot.get(core)
+        if slot is None:
+            raise RuntimeError(f"core {core} releasing ABQL without a slot")
+        next_slot = (slot + 1) % self.num_slots
+
+        def on_reset(_old: int) -> None:
+            self.memsys.store(
+                core, self.slot_addrs[next_slot], HAS_LOCK, on_passed
+            )
+
+        def on_passed(_old: int) -> None:
+            self.releases += 1
+            del self._my_slot[core]
+            callback()
+
+        # reset our slot, then pass the token to the next slot
+        self.memsys.store(core, self.slot_addrs[slot], MUST_WAIT, on_reset)

@@ -1,0 +1,99 @@
+"""Sense-reversing centralized barrier.
+
+PARSEC programs synchronize with barriers as well as locks (the paper
+excludes blackscholes precisely because it *only* uses barriers,
+footnote 4).  This is the classic sense-reversing construction on the
+coherent memory system: arrivals fetch-and-decrement a counter; the last
+arrival resets the counter and flips the shared *sense* word, releasing
+everyone spinning (via line monitors) on their local copy.
+
+It composes from the same primitives as the locks — LL/SC
+fetch-and-decrement, plain store for the sense flip, monitored local
+spinning — so all its coherence traffic (one RMW per arrival, one
+invalidation storm per episode on the sense line) is real.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TYPE_CHECKING
+
+from ..config import SystemConfig
+from ..sim import Component, Simulator
+from .base import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.memsystem import MemorySystem
+
+ArriveCallback = Callable[[], None]
+
+
+class SenseBarrier(Component):
+    """A reusable barrier for ``parties`` participants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        memsys: "MemorySystem",
+        addr_space: AddressSpace,
+        barrier_id: int,
+        home_node: int,
+        config: SystemConfig,
+        parties: int,
+    ):
+        super().__init__(sim, f"barrier{barrier_id}")
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        self.memsys = memsys
+        self.config = config
+        self.parties = parties
+        #: arrival counter and the sense word, in separate blocks (the
+        #: counter is RMW-contended; the sense line is read-shared)
+        self.counter_addr = addr_space.block(home_node)
+        self.sense_addr = addr_space.block(home_node)
+        memsys.values[self.counter_addr] = parties
+        memsys.values[self.sense_addr] = 0
+        self.episodes = 0
+        #: each core tracks the sense it is waiting to see
+        self._local_sense: Dict[int, int] = {}
+
+    def arrive(self, core: int, callback: ArriveCallback) -> None:
+        """Arrive at the barrier; ``callback`` fires when it opens."""
+        target_sense = 1 - self._local_sense.get(core, 0)
+        self._local_sense[core] = target_sense
+
+        def on_decrement(old: int) -> None:
+            if old == 1:
+                # last arrival: reset the counter, then flip the sense
+                self.memsys.store(
+                    core, self.counter_addr, self.parties,
+                    lambda _v: self.memsys.store(
+                        core, self.sense_addr, target_sense, on_released
+                    ),
+                )
+            else:
+                self._wait_for_sense(core, target_sense, callback)
+
+        def on_released(_v: int) -> None:
+            self.episodes += 1
+            callback()
+
+        self.memsys.rmw(
+            core, self.counter_addr,
+            lambda old: (old - 1, old), on_decrement, ll_sc=True,
+        )
+
+    def _wait_for_sense(
+        self, core: int, target_sense: int, callback: ArriveCallback
+    ) -> None:
+        def check() -> None:
+            self.memsys.load(core, self.sense_addr, on_value)
+
+        def on_value(value: int) -> None:
+            if value == target_sense:
+                callback()
+            else:
+                self.memsys.monitor_invalidation(
+                    core, self.sense_addr, check
+                )
+
+        check()

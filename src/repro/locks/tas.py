@@ -1,0 +1,81 @@
+"""Test-and-set lock (TAS), Section 2.1(1) and Algorithm 1.
+
+Test-and-test-and-set variant, exactly the paper's Algorithm 1: spin on a
+local copy of the lock until it reads 0 (Lines 1-2), then attempt an atomic
+SWAP of 1 into it (Lines 3-4).  Every waiting core attacks the single
+shared lock word, so each release triggers a full GetX burst — the
+heaviest LCO of all primitives (Figure 2).
+"""
+
+from __future__ import annotations
+
+from .base import AcquireCallback, LockPrimitive, ReleaseCallback
+
+FREE = 0
+OCCUPIED = 1
+
+
+class TasLock(LockPrimitive):
+    """Spin lock with atomic test_and_set acquisition.
+
+    Default (``raw_spin``): the paper's Section 2.1(1) — every retry is
+    an atomic test_and_set, so each waiting core continually attacks the
+    shared lock word with exclusive requests; losers receive fresh copies
+    from each round's winner (Figure 4 Step 4) and retry.  With
+    ``raw_spin=False`` the lock becomes test-and-test-and-set: spin on a
+    local copy (Algorithm 1 Lines 1-2) and swap only on observed-free.
+    """
+
+    name = "tas"
+
+    def acquire(self, core: int, callback: AcquireCallback) -> None:
+        if self.config.spin.raw_spin:
+            self._attempt_swap(core, callback)
+        else:
+            self._spin_phase(core, callback)
+
+    def _spin_phase(self, core: int, callback: AcquireCallback) -> None:
+        self._monitored_spin(
+            core,
+            self.addr,
+            passes=lambda v: v == FREE,
+            on_pass=lambda _: self._attempt_swap(core, callback),
+        )
+
+    def _attempt_swap(self, core: int, callback: AcquireCallback) -> None:
+        def do_swap() -> None:
+            self.memsys.rmw(
+                core,
+                self.addr,
+                _swap_in_one,
+                on_old_value,
+                fails_if=lambda v: v != FREE,
+            )
+
+        def on_old_value(old: int) -> None:
+            if old == FREE:
+                self.acquisitions += 1
+                callback()
+            else:
+                # lost the race (Line 5 BENZ fails): retry
+                self.after(self.config.spin.spin_interval, retry)
+
+        def retry() -> None:
+            if self.config.spin.raw_spin:
+                self._attempt_swap(core, callback)
+            else:
+                self._spin_phase(core, callback)
+
+        self._after_local_op(do_swap)
+
+    def release(self, core: int, callback: ReleaseCallback) -> None:
+        def on_done(_old: int) -> None:
+            self.releases += 1
+            callback()
+
+        self.memsys.store(core, self.addr, FREE, on_done)
+
+
+def _swap_in_one(old: int):
+    """SWAP R2, 0(R1) with R2 == 1: store 1, return the previous value."""
+    return OCCUPIED, old

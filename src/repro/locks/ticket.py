@@ -1,0 +1,116 @@
+"""The ticket lock (TTL), Section 2.1(2), after Reed & Kanodia [31].
+
+Two counters — a *request* (next-ticket) counter and a *release*
+(now-serving) counter — packed, as in real implementations, into one cache
+line: the lock word encodes ``(next_ticket << 16) | now_serving``.  A core
+takes a ticket with an atomic fetch-and-increment on the high half, then
+spins until the low half equals its ticket.  Releasing increments the low
+half (an ordinary store in hardware; same cache line, so it still
+invalidates every spinner's copy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import AcquireCallback, LockPrimitive, ReleaseCallback
+
+_SERVING_MASK = 0xFFFF
+_TICKET_SHIFT = 16
+
+
+def next_ticket(value: int) -> int:
+    return value >> _TICKET_SHIFT
+
+
+def now_serving(value: int) -> int:
+    return value & _SERVING_MASK
+
+
+def pack(ticket: int, serving: int) -> int:
+    return ((ticket & _SERVING_MASK) << _TICKET_SHIFT) | (serving & _SERVING_MASK)
+
+
+class TicketLock(LockPrimitive):
+    """FIFO spin lock with a ticket/serving counter pair."""
+
+    name = "ticket"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._my_ticket: Dict[int, int] = {}
+
+    def acquire(self, core: int, callback: AcquireCallback) -> None:
+        def take_ticket(old: int):
+            new = pack(next_ticket(old) + 1, now_serving(old))
+            return new, old
+
+        def on_ticket(old: int) -> None:
+            ticket = next_ticket(old)
+            self._my_ticket[core] = ticket
+            if now_serving(old) == ticket:
+                self.acquisitions += 1
+                callback()
+                return
+            self._wait_turn(core, ticket, callback)
+
+        # Alpha fetch-and-increment: an LL/SC retry loop in hardware
+        self.memsys.rmw(core, self.addr, take_ticket, on_ticket, ll_sc=True)
+
+    def _wait_turn(self, core: int, ticket: int, callback: AcquireCallback) -> None:
+        """Wait until ``now_serving == ticket``, then claim the lock line.
+
+        Waiting is an LL + line-monitor loop: hold a tracked shared copy,
+        sleep until coherence invalidates it, re-fetch and re-check.  Once
+        our ticket comes up, an atomic *claim* (an SC that changes nothing
+        but takes exclusive ownership) serializes the handoff through the
+        home node.
+        """
+        def not_my_turn(v: int) -> bool:
+            return now_serving(v) != ticket
+
+        def claim() -> None:
+            self.memsys.rmw(
+                core,
+                self.addr,
+                lambda old: (old, old),  # claim: take ownership, no change
+                on_claimed,
+                fails_if=not_my_turn,
+            )
+
+        def on_claimed(value: int) -> None:
+            if now_serving(value) == ticket:
+                self._acquired(callback)
+            else:
+                wait()
+
+        def wait() -> None:
+            self._monitored_spin(
+                core,
+                self.addr,
+                passes=lambda v: now_serving(v) == ticket,
+                on_pass=lambda _: claim(),
+            )
+
+        wait()
+
+    def _acquired(self, callback: AcquireCallback) -> None:
+        self.acquisitions += 1
+        callback()
+
+    def release(self, core: int, callback: ReleaseCallback) -> None:
+        ticket = self._my_ticket.get(core)
+        if ticket is None:
+            raise RuntimeError(f"core {core} releasing a ticket it never took")
+
+        def bump_serving(old: int):
+            new = pack(next_ticket(old), (ticket + 1) & _SERVING_MASK)
+            return new, old
+
+        def on_done(_old: int) -> None:
+            self.releases += 1
+            del self._my_ticket[core]
+            callback()
+
+        # the release counter update is an ordinary store in hardware
+        self.memsys.rmw(core, self.addr, bump_serving, on_done, is_atomic=False)

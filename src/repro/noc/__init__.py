@@ -1,0 +1,37 @@
+"""Network-on-chip substrate: mesh, XY routing, routers, fabric.
+
+Two fidelity levels: the packet-granularity :class:`Network` used by the
+full system, and the flit-level validation model in
+:mod:`repro.noc.flitsim`.  Synthetic traffic patterns and load sweeps
+live in :mod:`repro.noc.traffic`.
+"""
+
+from .flitsim import FlitNetwork, FlitPacket, FlitRouter
+from .network import Network
+from .packet import Packet
+from .port import OutputPort
+from .router import CONTINUE, STOPPED, Router
+from .topology import Mesh
+from .traffic import (
+    PATTERNS,
+    TrafficResult,
+    latency_load_curve,
+    run_packet_traffic,
+)
+
+__all__ = [
+    "CONTINUE",
+    "FlitNetwork",
+    "FlitPacket",
+    "FlitRouter",
+    "Mesh",
+    "Network",
+    "OutputPort",
+    "PATTERNS",
+    "Packet",
+    "Router",
+    "STOPPED",
+    "TrafficResult",
+    "latency_load_curve",
+    "run_packet_traffic",
+]

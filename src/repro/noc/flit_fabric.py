@@ -1,0 +1,110 @@
+"""Flit-level fabric adapter: the full system on the detailed NoC.
+
+Exposes the flit-level model (:mod:`repro.noc.flitsim`) behind the same
+interface the coherence layer uses (``send`` / ``register_endpoint`` /
+statistics), so a :class:`~repro.system.ManyCoreSystem` can be assembled
+on it for high-fidelity validation runs::
+
+    cfg = SystemConfig(noc=NocConfig(flit_level=True))
+
+Limitations (by design — this is a validation mode):
+
+* **No iNPG.**  Big-router packet inspection hooks exist only in the
+  packet-level model; enabling iNPG with ``flit_level`` raises.
+* **No priority arbitration / virtual-network classes** — the flit model
+  arbitrates round-robin per physical router, so OCOR's packet
+  priorities are ignored (its home-queue ordering still applies).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import NocConfig
+from ..sim import Component, Simulator
+from .flitsim import FlitNetwork, FlitPacket
+from .packet import Packet
+from .topology import Mesh
+
+EndpointHandler = Callable[[Packet], None]
+
+
+class FlitFabric(Component):
+    """Network-interface-compatible wrapper over :class:`FlitNetwork`."""
+
+    def __init__(self, sim: Simulator, config: NocConfig,
+                 priority_arbitration: bool = False):
+        super().__init__(sim, "flitfabric")
+        self.config = config
+        self.fabric = FlitNetwork(sim, config)
+        self.mesh: Mesh = self.fabric.mesh
+        self.priority_arbitration = priority_arbitration
+        self._endpoints: Dict[int, EndpointHandler] = {}
+        self.fabric.on_delivery = self._on_delivery
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.packets_consumed = 0
+        self.total_latency = 0
+        #: kept for interface parity with Network
+        self.memsys = None
+        self.routers: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def register_endpoint(self, node: int, handler: EndpointHandler) -> None:
+        if node in self._endpoints:
+            raise ValueError(f"endpoint for node {node} already registered")
+        self._endpoints[node] = handler
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: object,
+        size_flits: int = 1,
+        priority: int = 0,
+        origin: Optional[int] = None,
+    ) -> Packet:
+        """Inject a coherence message as a flit-level packet."""
+        shadow = Packet(
+            src=src, dst=dst, payload=payload, size_flits=size_flits,
+            priority=priority, origin=origin if origin is not None else src,
+        )
+        shadow.injected_cycle = self.now
+        self.packets_injected += 1
+        self.fabric.send(src, dst, size_flits, payload=shadow)
+        return shadow
+
+    def _on_delivery(self, flit_packet: FlitPacket) -> None:
+        shadow: Packet = flit_packet.payload
+        shadow.delivered_cycle = self.now
+        self.packets_delivered += 1
+        self.total_latency += shadow.latency
+        handler = self._endpoints.get(shadow.dst)
+        if handler is None:
+            raise RuntimeError(f"no endpoint registered at node {shadow.dst}")
+        handler(shadow)
+
+    # ------------------------------------------------------------------
+    # interface parity
+    # ------------------------------------------------------------------
+    def reinject(self, router_node: int, packet: Packet) -> None:
+        raise RuntimeError(
+            "iNPG (in-network packet generation) requires the packet-level "
+            "network model; disable flit_level or iNPG"
+        )
+
+    def consume(self, packet: Packet) -> None:  # pragma: no cover
+        self.packets_consumed += 1
+
+    def big_router_nodes(self) -> list:
+        return []
+
+    @property
+    def mean_latency(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_latency / self.packets_delivered
+
+    @property
+    def in_flight(self) -> int:
+        return self.packets_injected - self.packets_delivered

@@ -1,0 +1,333 @@
+"""Flit-level NoC model for validating the packet-level timing.
+
+The main simulator uses a packet-granularity router model (pipeline
+latency + per-port serialization + queueing).  This module implements the
+paper's baseline router in full detail — the 2-stage speculative pipeline
+of Peh & Dally [29] with per-input virtual-channel buffers and
+credit-based flow control — so the packet model's latency behaviour can
+be validated against it (``benchmarks/bench_noc_validation.py``).
+
+Model summary
+=============
+* 5 physical ports per router (N/E/S/W/Local), ``vcs_per_port`` VCs per
+  port, ``flits_per_vc`` buffer slots per VC.
+* Stage 1: route computation + VC allocation + switch allocation
+  (speculative, in parallel); stage 2: switch traversal.  A flit that
+  wins SA traverses in the next cycle; the head flit allocates the VC.
+* Credit-based backpressure: a flit may only traverse to the next router
+  if the target VC has a free slot; credits return when flits leave.
+* One flit per port per cycle on the crossbar output (wormhole).
+
+This model is cycle-ticked (routers with work schedule themselves), so
+it is slower than the packet model — use it for validation, not sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..config import NocConfig
+from ..sim import Component, Simulator
+from .topology import Mesh
+
+#: port indices
+LOCAL, NORTH, EAST, SOUTH, WEST = range(5)
+_PORT_NAMES = ("local", "north", "east", "south", "west")
+
+_flit_packets = itertools.count()
+
+
+@dataclass
+class FlitPacket:
+    """A packet decomposed into flits."""
+
+    src: int
+    dst: int
+    length: int
+    payload: object = None
+    pid: int = field(default_factory=lambda: next(_flit_packets))
+    injected_cycle: int = -1
+    delivered_cycle: int = -1
+
+    @property
+    def latency(self) -> int:
+        return self.delivered_cycle - self.injected_cycle
+
+
+@dataclass
+class Flit:
+    packet: FlitPacket
+    index: int
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.length - 1
+
+
+class VirtualChannel:
+    """One input VC buffer with its downstream routing state."""
+
+    __slots__ = (
+        "buffer", "capacity", "out_port", "out_vc", "active", "ready_at"
+    )
+
+    def __init__(self, capacity: int):
+        self.buffer: Deque[Flit] = deque()
+        self.capacity = capacity
+        self.out_port: Optional[int] = None
+        self.out_vc: Optional[int] = None
+        self.active = False
+        #: earliest cycle this VC may win switch allocation (stage 1 of
+        #: the 2-stage pipeline completes the cycle before ST)
+        self.ready_at = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.buffer)
+
+
+class FlitRouter(Component):
+    """2-stage speculative wormhole router."""
+
+    def __init__(self, sim: Simulator, node: int, fabric: "FlitNetwork"):
+        super().__init__(sim, f"flitrouter{node}")
+        self.node = node
+        self.fabric = fabric
+        cfg = fabric.config
+        self.num_vcs = cfg.vcs_per_port
+        self.vcs: List[List[VirtualChannel]] = [
+            [VirtualChannel(cfg.flits_per_vc) for _ in range(self.num_vcs)]
+            for _ in range(5)
+        ]
+        #: credits we believe each (out_port, vc) of the DOWNSTREAM buffer has
+        self.credits: List[List[int]] = [
+            [cfg.flits_per_vc] * self.num_vcs for _ in range(5)
+        ]
+        self._scheduled = False
+        self._rr = 0  # round-robin pointer for switch allocation
+
+    # ------------------------------------------------------------------
+    def wake(self) -> None:
+        if not self._scheduled:
+            self._scheduled = True
+            self.after(1, self._tick)
+
+    def accept_flit(self, in_port: int, vc_index: int, flit: Flit) -> None:
+        vc = self.vcs[in_port][vc_index]
+        assert vc.free_slots > 0, "credit protocol violated"
+        vc.buffer.append(flit)
+        self.wake()
+
+    def credit_return(self, out_port: int, vc_index: int) -> None:
+        self.credits[out_port][vc_index] += 1
+        self.wake()
+
+    # ------------------------------------------------------------------
+    def _route_port(self, dst: int) -> int:
+        if dst == self.node:
+            return LOCAL
+        mesh = self.fabric.mesh
+        x, y = mesh.coords(self.node)
+        dx, dy = mesh.coords(dst)
+        if dx > x:
+            return EAST
+        if dx < x:
+            return WEST
+        if dy > y:
+            return SOUTH
+        return NORTH
+
+    def _neighbor(self, out_port: int) -> int:
+        mesh = self.fabric.mesh
+        x, y = mesh.coords(self.node)
+        if out_port == EAST:
+            return mesh.node_at(x + 1, y)
+        if out_port == WEST:
+            return mesh.node_at(x - 1, y)
+        if out_port == SOUTH:
+            return mesh.node_at(x, y + 1)
+        if out_port == NORTH:
+            return mesh.node_at(x, y - 1)
+        raise AssertionError(out_port)
+
+    @staticmethod
+    def _reverse_port(out_port: int) -> int:
+        return {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}[out_port]
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._scheduled = False
+        work_left = False
+        # stage 1 for heads: RC + VC allocation (speculative with SA)
+        for port in range(5):
+            for vc in self.vcs[port]:
+                if vc.buffer and not vc.active:
+                    head = vc.buffer[0]
+                    if head.is_head:
+                        out_port = self._route_port(head.packet.dst)
+                        out_vc = self._allocate_vc(out_port)
+                        if out_vc is None:
+                            work_left = True
+                            continue
+                        vc.out_port, vc.out_vc, vc.active = (
+                            out_port, out_vc, True
+                        )
+                        # ST happens in the next pipeline stage
+                        vc.ready_at = self.now + 1
+        # SA + ST: one flit per output port per cycle, round-robin inputs
+        granted_outputs: Dict[int, bool] = {}
+        order = list(range(5 * self.num_vcs))
+        order = order[self._rr:] + order[: self._rr]
+        self._rr = (self._rr + 1) % (5 * self.num_vcs)
+        for idx in order:
+            port, vc_index = divmod(idx, self.num_vcs)
+            vc = self.vcs[port][vc_index]
+            if not (vc.active and vc.buffer):
+                continue
+            if self.now < vc.ready_at:
+                work_left = True
+                continue
+            out_port = vc.out_port
+            assert out_port is not None and vc.out_vc is not None
+            if granted_outputs.get(out_port):
+                work_left = True
+                continue
+            if out_port != LOCAL and self.credits[out_port][vc.out_vc] <= 0:
+                work_left = True
+                continue
+            granted_outputs[out_port] = True
+            flit = vc.buffer.popleft()
+            out_vc = vc.out_vc
+            if flit.is_tail:
+                vc.active = False
+                vc.out_port = vc.out_vc = None
+            if out_port == LOCAL:
+                if flit.is_tail:
+                    self.fabric.deliver(flit.packet)
+            else:
+                self.credits[out_port][out_vc] -= 1
+                neighbor = self.fabric.routers[self._neighbor(out_port)]
+                in_port = self._reverse_port(out_port)
+                link = self.fabric.config.link_cycles
+                self.after(
+                    link,
+                    lambda n=neighbor, p=in_port, v=out_vc, f=flit:
+                        n.accept_flit(p, v, f),
+                )
+            # our input buffer slot is free either way: credit upstream
+            self.after(
+                1, lambda p=port, v=vc_index: self._return_credit(p, v)
+            )
+            if vc.buffer or self._any_pending():
+                work_left = True
+        if work_left or self._any_pending():
+            self.wake()
+
+    def _allocate_vc(self, out_port: int) -> Optional[int]:
+        """First downstream VC not already claimed by one of our inputs."""
+        claimed = {
+            (v.out_port, v.out_vc)
+            for row in self.vcs for v in row if v.active
+        }
+        for candidate in range(self.num_vcs):
+            if (out_port, candidate) not in claimed:
+                return candidate
+        return None
+
+    def _return_credit(self, in_port: int, vc_index: int) -> None:
+        if in_port == LOCAL:
+            self.fabric.local_credit(self.node, vc_index)
+            return
+        upstream = self.fabric.routers[self._neighbor(in_port)]
+        upstream.credit_return(self._reverse_port(in_port), vc_index)
+
+    def _any_pending(self) -> bool:
+        return any(vc.buffer for row in self.vcs for vc in row)
+
+
+class FlitNetwork(Component):
+    """The flit-level fabric with local injection/ejection interfaces."""
+
+    def __init__(self, sim: Simulator, config: NocConfig):
+        super().__init__(sim, "flitnet")
+        self.config = config
+        self.mesh = Mesh(config.width, config.height)
+        self.routers: Dict[int, FlitRouter] = {
+            n: FlitRouter(sim, n, self) for n in range(self.mesh.num_nodes)
+        }
+        #: injection queues waiting for local-port credits
+        self._inject_queues: Dict[int, Deque[FlitPacket]] = {
+            n: deque() for n in range(self.mesh.num_nodes)
+        }
+        #: in-progress injection per node: (packet, vc_index, next flit)
+        self._streaming: Dict[int, Optional[Tuple[FlitPacket, int, int]]] = {
+            n: None for n in range(self.mesh.num_nodes)
+        }
+        self.delivered: List[FlitPacket] = []
+        self.injected = 0
+        self.on_delivery: Optional[Callable[[FlitPacket], None]] = None
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, length: int,
+             payload: object = None) -> FlitPacket:
+        packet = FlitPacket(
+            src=src, dst=dst, length=max(1, length), payload=payload
+        )
+        packet.injected_cycle = self.now
+        self.injected += 1
+        self._inject_queues[src].append(packet)
+        self._try_inject(src)
+        return packet
+
+    def _try_inject(self, node: int) -> None:
+        """Stream queued packets into free local-input VCs, one flit per
+        free buffer slot; resumes as credits return."""
+        router = self.routers[node]
+        stream = self._streaming[node]
+        if stream is None:
+            queue = self._inject_queues[node]
+            if not queue:
+                return
+            # claim a fully idle local VC for the new packet
+            for vc_index, vc in enumerate(router.vcs[LOCAL]):
+                if not vc.active and not vc.buffer:
+                    stream = (queue.popleft(), vc_index, 0)
+                    break
+            if stream is None:
+                return
+        packet, vc_index, next_flit = stream
+        vc = router.vcs[LOCAL][vc_index]
+        while next_flit < packet.length and vc.free_slots > 0:
+            router.accept_flit(LOCAL, vc_index, Flit(packet, next_flit))
+            next_flit += 1
+        if next_flit >= packet.length:
+            self._streaming[node] = None
+            if self._inject_queues[node]:
+                # try to start the next packet on another VC
+                self._try_inject(node)
+        else:
+            self._streaming[node] = (packet, vc_index, next_flit)
+        router.wake()
+
+    def local_credit(self, node: int, vc_index: int) -> None:
+        self._try_inject(node)
+
+    def deliver(self, packet: FlitPacket) -> None:
+        packet.delivered_cycle = self.now
+        self.delivered.append(packet)
+        if self.on_delivery is not None:
+            self.on_delivery(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(p.latency for p in self.delivered) / len(self.delivered)

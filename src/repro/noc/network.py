@@ -1,0 +1,134 @@
+"""The NoC fabric: routers, links, injection and delivery.
+
+The :class:`Network` wires one :class:`~repro.noc.router.Router` per mesh
+node (some of which may be iNPG big routers, supplied via a factory), and
+dispatches delivered packets to per-node endpoint handlers (the cache
+controllers registered by ``repro.coherence.memsystem``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import NocConfig
+from ..sim import Component, Simulator
+from .packet import Packet
+from .router import Router
+from .topology import Mesh
+
+#: endpoint callback signature: (packet) -> None
+EndpointHandler = Callable[[Packet], None]
+#: router factory signature: (sim, node, network) -> Router
+RouterFactory = Callable[[Simulator, int, "Network"], Router]
+
+
+class Network(Component):
+    """An XY-routed mesh network of (possibly heterogeneous) routers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NocConfig,
+        router_factory: Optional[RouterFactory] = None,
+        priority_arbitration: bool = False,
+    ):
+        super().__init__(sim, "network")
+        self.config = config
+        self.mesh = Mesh(config.width, config.height)
+        self.priority_arbitration = priority_arbitration
+        factory = router_factory or Router
+        self.routers: Dict[int, Router] = {}
+        for node in range(self.mesh.num_nodes):
+            self.routers[node] = factory(sim, node, self)
+        self._endpoints: Dict[int, EndpointHandler] = {}
+        #: statistics
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.packets_consumed = 0
+        self.total_latency = 0
+        self.total_hops = 0
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def register_endpoint(self, node: int, handler: EndpointHandler) -> None:
+        """Attach the network interface handler for ``node``."""
+        if node in self._endpoints:
+            raise ValueError(f"endpoint for node {node} already registered")
+        self._endpoints[node] = handler
+
+    # ------------------------------------------------------------------
+    # Injection / delivery
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: object,
+        size_flits: int = 1,
+        priority: int = 0,
+        origin: Optional[int] = None,
+    ) -> Packet:
+        """Inject a new packet at ``src`` bound for ``dst``.
+
+        Local (src == dst) messages still pass through the local router's
+        ejection path, modelling the NI turnaround.
+        """
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_flits=size_flits,
+            priority=priority,
+            vnet=(0 if size_flits <= 1 else 1) if self.config.virtual_networks
+            else 0,
+            origin=origin if origin is not None else src,
+        )
+        packet.injected_cycle = self.now
+        self.packets_injected += 1
+        self.routers[src].accept(packet)
+        return packet
+
+    def reinject(self, router_node: int, packet: Packet) -> None:
+        """Inject a router-generated packet at ``router_node`` (iNPG).
+
+        The packet starts at the generating router, not at an endpoint NI;
+        it still pays that router's pipeline before moving.
+        """
+        packet.injected_cycle = self.now
+        self.packets_injected += 1
+        self.routers[router_node].forward_now(packet)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """Hand a packet that ejected at its destination to the endpoint."""
+        packet.delivered_cycle = self.now
+        self.packets_delivered += 1
+        self.total_latency += packet.latency
+        self.total_hops += max(0, len(packet.trace) - 1)
+        handler = self._endpoints.get(packet.dst)
+        if handler is None:
+            raise RuntimeError(f"no endpoint registered at node {packet.dst}")
+        handler(packet)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end packet latency over delivered packets."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_latency / self.packets_delivered
+
+    def consume(self, packet: Packet) -> None:
+        """Account for a packet absorbed in-network (big-router intercept)."""
+        packet.delivered_cycle = self.now
+        self.packets_consumed += 1
+
+    @property
+    def in_flight(self) -> int:
+        return self.packets_injected - self.packets_delivered - self.packets_consumed
+
+    def big_router_nodes(self) -> list:
+        """Node ids whose routers are iNPG big routers."""
+        return [n for n, r in self.routers.items() if r.is_big]

@@ -1,0 +1,51 @@
+"""Network packets.
+
+A packet carries one coherence message (``payload``).  Following Table 1,
+a cache-block transfer is one 8-flit packet and a coherence control message
+is a single-flit packet.  Packets carry an OCOR priority (0 = lowest) that
+priority-aware ports honour when arbitrating.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One message in flight on the NoC."""
+
+    src: int
+    dst: int
+    payload: Any
+    size_flits: int = 1
+    priority: int = 0
+    #: virtual network class: 0 = control (single-flit coherence
+    #: messages), 1 = data (block transfers).  Ports arbitrate control
+    #: ahead of data, modelling the separate virtual networks of Table 1
+    #: that keep invalidations and acks from queueing behind data bursts.
+    vnet: int = 0
+    #: node id of the original issuer, for generated/forwarded packets.
+    origin: Optional[int] = None
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    injected_cycle: int = -1
+    delivered_cycle: int = -1
+    #: routers traversed so far (head-flit trace).
+    trace: List[int] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency; -1 until delivered."""
+        if self.delivered_cycle < 0 or self.injected_cycle < 0:
+            return -1
+        return self.delivered_cycle - self.injected_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+            f"{self.payload!r}, flits={self.size_flits}, prio={self.priority})"
+        )

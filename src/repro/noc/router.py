@@ -1,0 +1,99 @@
+"""Two-stage pipelined router (baseline "normal" router).
+
+Timing model, following the paper's baseline (Peh & Dally speculative
+2-stage router, Table 1):
+
+* stage 1 (RC/VA/SA) + stage 2 (ST) = ``pipeline_cycles`` (default 2) from
+  head-flit arrival to the packet requesting its output port;
+* the output port serializes the packet at one flit/cycle;
+* the link to the next router adds ``link_cycles`` (default 1).
+
+Routers expose an :meth:`inspect` hook, called when a packet enters the
+router, **before** route computation.  Normal routers always let packets
+continue; the iNPG big router overrides it to stop lock requests and
+generate early invalidations (``repro.inpg.big_router``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..sim import Component, Simulator
+from .packet import Packet
+from .port import OutputPort
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+#: inspect() verdicts
+CONTINUE = "continue"
+STOPPED = "stopped"
+
+
+class Router(Component):
+    """A mesh router at ``node``."""
+
+    is_big = False
+
+    def __init__(self, sim: Simulator, node: int, network: "Network"):
+        super().__init__(sim, f"router{node}")
+        self.node = node
+        self.network = network
+        cfg = network.config
+        self.pipeline_cycles = cfg.router_pipeline_cycles
+        self.link_cycles = cfg.link_cycles
+        priority_aware = network.priority_arbitration
+        #: one output port per neighbour + one ejection port to the local NI.
+        self.ports: Dict[int, OutputPort] = {}
+        for neighbor in network.mesh.neighbors(node):
+            self.ports[neighbor] = OutputPort(
+                sim, f"router{node}->r{neighbor}", priority_aware
+            )
+        self.ports[node] = OutputPort(sim, f"router{node}->local", priority_aware)
+        self.packets_seen = 0
+
+    # ------------------------------------------------------------------
+    # Hook for subclasses (big router)
+    # ------------------------------------------------------------------
+    def inspect(self, packet: Packet) -> str:
+        """Inspect a packet entering this router.
+
+        Returns :data:`CONTINUE` to let it proceed normally or
+        :data:`STOPPED` if the router has taken over the packet (the base
+        router never stops packets).
+        """
+        return CONTINUE
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def accept(self, packet: Packet) -> None:
+        """Head flit of ``packet`` arrives at this router."""
+        self.packets_seen += 1
+        packet.trace.append(self.node)
+        if self.inspect(packet) == STOPPED:
+            return
+        self.after(self.pipeline_cycles, lambda: self._route(packet))
+
+    def _route(self, packet: Packet) -> None:
+        if packet.dst == self.node:
+            port = self.ports[self.node]
+            port.request(packet, self._eject)
+            return
+        next_node = self.network.mesh.next_hop(self.node, packet.dst)
+        port = self.ports[next_node]
+        port.request(packet, lambda p: self._traverse_link(p, next_node))
+
+    def _traverse_link(self, packet: Packet, next_node: int) -> None:
+        next_router = self.network.routers[next_node]
+        self.after(self.link_cycles, lambda: next_router.accept(packet))
+
+    def _eject(self, packet: Packet) -> None:
+        # the endpoint has the packet when the tail flit arrives
+        tail = max(0, packet.size_flits - 1)
+        self.after(tail, lambda: self.network.deliver_local(packet))
+
+    def forward_now(self, packet: Packet) -> None:
+        """Re-enter the datapath at this router (used by big routers to
+        send generated or converted packets on their way)."""
+        self.after(self.pipeline_cycles, lambda: self._route(packet))

@@ -1,0 +1,85 @@
+"""Mesh topology and XY dimension-order routing.
+
+The paper's platform is an 8x8 mesh with XY routing (Table 1, Figure 3):
+packets first travel along the X dimension to the destination column, then
+along Y.  XY routing is deterministic and deadlock-free, which also makes
+the path of every lock request predictable — the property iNPG exploits
+when placing big routers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class Mesh:
+    """A ``width`` x ``height`` mesh of routers addressed 0..N-1 row-major."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) of ``node``; raises for out-of-range ids."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Mesh-adjacent node ids."""
+        x, y = self.coords(node)
+        if x > 0:
+            yield self.node_at(x - 1, y)
+        if x < self.width - 1:
+            yield self.node_at(x + 1, y)
+        if y > 0:
+            yield self.node_at(x, y - 1)
+        if y < self.height - 1:
+            yield self.node_at(x, y + 1)
+
+    def xy_route(self, src: int, dst: int) -> List[int]:
+        """Full XY path from ``src`` to ``dst``, inclusive of both ends.
+
+        X is corrected first, then Y (dimension-order).  The returned list
+        is the sequence of routers the packet's head flit traverses.
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step_x = 1 if dx > sx else -1
+        while x != dx:
+            x += step_x
+            path.append(self.node_at(x, y))
+        step_y = 1 if dy > sy else -1
+        while y != dy:
+            y += step_y
+            path.append(self.node_at(x, y))
+        return path
+
+    def next_hop(self, current: int, dst: int) -> int:
+        """Next router on the XY path from ``current`` toward ``dst``."""
+        cx, cy = self.coords(current)
+        dx, dy = self.coords(dst)
+        if cx != dx:
+            return self.node_at(cx + (1 if dx > cx else -1), cy)
+        if cy != dy:
+            return self.node_at(cx, cy + (1 if dy > cy else -1))
+        return current
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)

@@ -1,0 +1,5 @@
+"""OCOR baseline (Opportunistic Competition Overhead Reduction, ISCA'16)."""
+
+from .priority import spin_priority, wakeup_priority
+
+__all__ = ["spin_priority", "wakeup_priority"]

@@ -1,0 +1,35 @@
+"""OCOR priority mapping (Section 5.1 Case 2, Table 1).
+
+OCOR (Opportunistic Competition Overhead Reduction, Yao & Lu ISCA'16) makes
+NoC routers prioritize lock request packets by the issuing thread's
+*remaining times of retry* (RTR) in its queue-spin-lock spinning phase: the
+smaller the RTR — i.e. the closer the thread is to giving up and paying the
+expensive sleep/context-switch path — the higher the packet priority.
+
+Table 1 configuration: 128 retries; 9 priority levels; the 8 higher levels
+are for spinning-phase requests with each level covering 16 retry values;
+the single lowest level is for wakeup (post-sleep) requests.
+"""
+
+from __future__ import annotations
+
+from ..config import OcorConfig
+
+
+def spin_priority(rtr: int, cfg: OcorConfig) -> int:
+    """Priority for a spinning-phase lock request with ``rtr`` retries left.
+
+    Returns a level in [1, cfg.priority_levels - 1]; smaller RTR maps to a
+    higher level.
+    """
+    if rtr < 0:
+        raise ValueError(f"RTR must be non-negative, got {rtr}")
+    spin_levels = cfg.priority_levels - 1
+    rtr = min(rtr, cfg.retry_times - 1)
+    level_index = min(rtr // cfg.retries_per_level, spin_levels - 1)
+    return spin_levels - level_index
+
+
+def wakeup_priority(cfg: OcorConfig) -> int:
+    """Priority for a request from a thread woken out of the sleep phase."""
+    return cfg.wakeup_level

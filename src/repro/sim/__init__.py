@@ -1,0 +1,14 @@
+"""Deterministic event-driven simulation kernel."""
+
+from .component import Component
+from .kernel import Event, SimulationError, Simulator
+from .rng import make_rng, stream_seed
+
+__all__ = [
+    "Component",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "make_rng",
+    "stream_seed",
+]

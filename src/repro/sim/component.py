@@ -1,0 +1,31 @@
+"""Base class for simulated hardware/software components."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .kernel import Event, Simulator
+
+
+class Component:
+    """A named component bound to a :class:`Simulator`.
+
+    Provides the scheduling shorthand every model block uses and a stable
+    ``name`` for tracing.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self.sim.cycle
+
+    def after(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` cycles in the future."""
+        return self.sim.schedule(delay, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,149 @@
+"""Deterministic event-driven cycle simulator.
+
+The kernel is a classic discrete-event engine operating in integer *cycles*.
+Every component in the model (routers, cache controllers, threads, the OS
+scheduler) schedules callbacks on a shared :class:`Simulator` instance.
+
+Determinism matters for a reproduction: two events scheduled for the same
+cycle fire in the order they were scheduled (FIFO tie-break via a sequence
+number), so a run is a pure function of its configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice, ...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are cancellable: :meth:`cancel` marks the event dead and the
+    kernel skips it when popped.  This is how TTL countdowns and retry
+    timeouts are retracted when superseded.
+    """
+
+    __slots__ = ("cycle", "seq", "callback", "cancelled")
+
+    def __init__(self, cycle: int, seq: int, callback: Callable[[], None]):
+        self.cycle = cycle
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event dead; the kernel will skip it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.cycle, self.seq) < (other.cycle, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(cycle={self.cycle}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Integer-cycle discrete event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(5, lambda: print("fires at cycle 5"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = 0
+        self.cycle = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now.
+
+        ``delay`` must be >= 0.  A zero delay fires later in the current
+        cycle, after all previously scheduled work for this cycle.
+        Returns the :class:`Event`, which may be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.cycle + int(delay), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute ``cycle`` (>= current cycle)."""
+        if cycle < self.cycle:
+            raise SimulationError(
+                f"cannot schedule at cycle {cycle} < current {self.cycle}"
+            )
+        return self.schedule(cycle - self.cycle, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains, ``until`` cycles pass, or
+        ``max_events`` events are processed.  Returns the final cycle.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.cycle > until:
+                    # Put it back; the caller may resume later.
+                    heapq.heappush(self._queue, event)
+                    self.cycle = until
+                    break
+                self.cycle = event.cycle
+                event.callback()
+                self.events_processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+            else:
+                if until is not None and until > self.cycle:
+                    self.cycle = until
+        finally:
+            self._running = False
+        return self.cycle
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def peek_next_cycle(self) -> Optional[int]:
+        """Cycle of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].cycle if self._queue else None
+
+    def drain(self) -> List[Tuple[int, Callable[[], None]]]:
+        """Remove and return all pending live events (for teardown/tests)."""
+        pending = [(e.cycle, e.callback) for e in self._queue if not e.cancelled]
+        self._queue.clear()
+        return pending

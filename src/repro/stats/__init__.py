@@ -1,0 +1,30 @@
+"""Measurement and accounting: coherence stats, timelines, run metrics."""
+
+from .coherence_stats import CoherenceStats, InvRecord, LockTxnRecord
+from .export import (
+    render_gantt,
+    render_mesh_heat_map,
+    run_result_to_dict,
+    to_csv,
+    to_json,
+)
+from .histogram import Histogram
+from .metrics import RunResult, ThreadMetrics
+from .timeline import PHASES, PhaseInterval, Timeline
+
+__all__ = [
+    "CoherenceStats",
+    "Histogram",
+    "InvRecord",
+    "LockTxnRecord",
+    "PHASES",
+    "PhaseInterval",
+    "RunResult",
+    "ThreadMetrics",
+    "Timeline",
+    "render_gantt",
+    "render_mesh_heat_map",
+    "run_result_to_dict",
+    "to_csv",
+    "to_json",
+]

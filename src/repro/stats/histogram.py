@@ -1,0 +1,48 @@
+"""Tiny fixed-bin histogram utility used by the figure harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class Histogram:
+    """Bins non-negative integer samples into fixed-width buckets."""
+
+    def __init__(self, bin_width: int = 5):
+        if bin_width < 1:
+            raise ValueError("bin width must be >= 1")
+        self.bin_width = bin_width
+        self._bins: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_sample = 0
+
+    def add(self, sample: int) -> None:
+        if sample < 0:
+            raise ValueError("histogram samples must be non-negative")
+        start = (sample // self.bin_width) * self.bin_width
+        self._bins[start] = self._bins.get(start, 0) + 1
+        self.count += 1
+        self.total += sample
+        self.max_sample = max(self.max_sample, sample)
+
+    def extend(self, samples: Iterable[int]) -> None:
+        for s in samples:
+            self.add(s)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bins(self) -> List[Tuple[int, int]]:
+        """Sorted (bin_start, count) pairs."""
+        return sorted(self._bins.items())
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering, one row per bin."""
+        rows = []
+        peak = max(self._bins.values(), default=1)
+        for start, count in self.bins():
+            bar = "#" * max(1, int(width * count / peak))
+            rows.append(f"{start:>5}-{start + self.bin_width - 1:<5} {count:>6} {bar}")
+        return "\n".join(rows)

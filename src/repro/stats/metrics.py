@@ -1,0 +1,127 @@
+"""Aggregated per-run metrics (the quantities the paper's figures report)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .coherence_stats import CoherenceStats
+from .timeline import Timeline
+
+
+@dataclass
+class ThreadMetrics:
+    """Accumulated per-thread phase totals."""
+
+    thread: int
+    parallel_cycles: int = 0
+    coh_cycles: int = 0
+    cse_cycles: int = 0
+    cs_completed: int = 0
+    sleeps: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.parallel_cycles + self.coh_cycles + self.cse_cycles
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one ROI simulation."""
+
+    mechanism: str
+    primitive: str
+    benchmark: str
+    roi_cycles: int
+    threads: List[ThreadMetrics]
+    coherence: CoherenceStats
+    timeline: Timeline
+    network_mean_latency: float = 0.0
+    network_packets: int = 0
+    os_sleeps: int = 0
+    os_wakeups: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used across the figures
+    # ------------------------------------------------------------------
+    @property
+    def total_coh(self) -> int:
+        """Total competition overhead cycles, summed over threads."""
+        return sum(t.coh_cycles for t in self.threads)
+
+    @property
+    def total_cse(self) -> int:
+        """Total critical-section execution cycles, summed over threads."""
+        return sum(t.cse_cycles for t in self.threads)
+
+    @property
+    def total_cs_time(self) -> int:
+        """COH + CSE (the paper's Figure 8b stacking)."""
+        return self.total_coh + self.total_cse
+
+    @property
+    def cs_completed(self) -> int:
+        return sum(t.cs_completed for t in self.threads)
+
+    @property
+    def avg_cycles_per_cs(self) -> float:
+        if self.cs_completed == 0:
+            return 0.0
+        return self.total_cse / self.cs_completed
+
+    @property
+    def lco_fraction(self) -> float:
+        """LCO as a fraction of ROI runtime (Figure 2's metric).
+
+        Measured as interval-union coverage: the fraction of the ROI
+        during which at least one lock-coherence transaction was open at
+        a home node.  Per-lock transactions serialize, so for one hot
+        lock this equals the summed transaction time; with several locks
+        the union avoids double-counting overlap.
+        """
+        if self.roi_cycles == 0:
+            return 0.0
+        intervals = sorted(
+            (t.start, t.commit) for t in self.coherence.lock_txns
+        )
+        covered = 0
+        cur_start, cur_end = None, None
+        for start, end in intervals:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            covered += cur_end - cur_start
+        return min(1.0, covered / self.roi_cycles)
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        """ROI speedup of this run relative to ``baseline``."""
+        if self.roi_cycles == 0:
+            return float("inf")
+        return baseline.roi_cycles / self.roi_cycles
+
+    def cs_expedition_vs(self, baseline: "RunResult") -> float:
+        """Per-CS (COH+CSE) acceleration relative to ``baseline`` (Fig 11)."""
+        mine = self.total_cs_time / max(1, self.cs_completed)
+        theirs = baseline.total_cs_time / max(1, baseline.cs_completed)
+        if mine == 0:
+            return float("inf")
+        return theirs / mine
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers (for tables and tests)."""
+        return {
+            "roi_cycles": float(self.roi_cycles),
+            "cs_completed": float(self.cs_completed),
+            "total_coh": float(self.total_coh),
+            "total_cse": float(self.total_cse),
+            "lco_fraction": self.lco_fraction,
+            "mean_inv_rtt": self.coherence.mean_inv_rtt,
+            "max_inv_rtt": float(self.coherence.max_inv_rtt),
+            "os_sleeps": float(self.os_sleeps),
+            "net_mean_latency": self.network_mean_latency,
+        }

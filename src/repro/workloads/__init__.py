@@ -1,0 +1,30 @@
+"""Synthetic PARSEC / SPEC OMP2012 workload profiles and generation."""
+
+from .generator import WorkItem, Workload, generate_workload, single_lock_workload
+from .profiles import (
+    ALL_PROFILES,
+    OMP2012,
+    OMP2012_PROFILES,
+    PARSEC,
+    PARSEC_PROFILES,
+    BenchmarkProfile,
+    get_profile,
+    group_of,
+    grouped_profiles,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "BenchmarkProfile",
+    "OMP2012",
+    "OMP2012_PROFILES",
+    "PARSEC",
+    "PARSEC_PROFILES",
+    "WorkItem",
+    "Workload",
+    "generate_workload",
+    "get_profile",
+    "group_of",
+    "grouped_profiles",
+    "single_lock_workload",
+]

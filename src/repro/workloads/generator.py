@@ -1,0 +1,128 @@
+"""Generate concrete per-thread workloads from benchmark profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..sim import make_rng
+from .profiles import BenchmarkProfile, get_profile
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One loop iteration of a worker thread: compute, then one CS."""
+
+    parallel_cycles: int
+    lock_index: int
+    cs_cycles: int
+
+
+@dataclass
+class Workload:
+    """A fully materialized multi-threaded workload."""
+
+    benchmark: str
+    num_threads: int
+    num_locks: int
+    #: home node for each lock (index-aligned with lock_index)
+    lock_homes: List[int]
+    #: per-thread item sequences
+    items: List[List[WorkItem]]
+
+    @property
+    def total_cs(self) -> int:
+        return sum(len(seq) for seq in self.items)
+
+
+def _draw(rng, mean: int, cv: float) -> int:
+    """Uniform draw in [mean*(1-cv), mean*(1+cv)], at least 1 cycle."""
+    lo = max(1, int(mean * (1.0 - cv)))
+    hi = max(lo, int(mean * (1.0 + cv)))
+    return rng.randint(lo, hi)
+
+
+def generate_workload(
+    benchmark: str,
+    num_threads: int,
+    mesh_nodes: int,
+    seed: int = 2018,
+    scale: float = 1.0,
+    lock_homes: Sequence[int] = (),
+) -> Workload:
+    """Materialize the workload for ``benchmark``.
+
+    ``scale`` multiplies the per-thread CS count (sweeps use < 1.0 to keep
+    wall time down).  ``lock_homes`` overrides lock placement (the Figure
+    10 microbenchmark pins the lock's home at core (5,6)).
+    """
+    profile = get_profile(benchmark)
+    rng = make_rng(seed, f"workload/{profile.name}")
+    cs_per_thread = max(1, round(profile.cs_per_thread * scale))
+    if lock_homes:
+        homes = list(lock_homes)
+        num_locks = len(homes)
+    else:
+        # a small mesh cannot home more locks than it has L2 banks
+        num_locks = min(profile.num_locks, mesh_nodes)
+        # spread lock homes over the banks, deterministically
+        candidates = list(range(mesh_nodes))
+        rng_homes = make_rng(seed, f"lockhomes/{profile.name}")
+        rng_homes.shuffle(candidates)
+        homes = candidates[:num_locks]
+    items: List[List[WorkItem]] = []
+    for thread in range(num_threads):
+        seq = []
+        for i in range(cs_per_thread):
+            seq.append(
+                WorkItem(
+                    parallel_cycles=_draw(
+                        rng, profile.parallel_cycles_mean, profile.duration_cv
+                    ),
+                    lock_index=rng.randrange(num_locks),
+                    cs_cycles=_draw(
+                        rng, profile.cs_cycles_mean, profile.duration_cv
+                    ),
+                )
+            )
+        items.append(seq)
+    return Workload(
+        benchmark=profile.name,
+        num_threads=num_threads,
+        num_locks=num_locks,
+        lock_homes=homes,
+        items=items,
+    )
+
+
+def single_lock_workload(
+    num_threads: int,
+    home_node: int,
+    cs_per_thread: int = 4,
+    cs_cycles: int = 100,
+    parallel_cycles: int = 200,
+    benchmark: str = "microbench",
+) -> Workload:
+    """A deterministic all-threads-compete-for-one-lock microbenchmark.
+
+    This is the Figure 10 scenario: every thread hammers one lock hosted
+    at a chosen home node.
+    """
+    items = [
+        [
+            WorkItem(
+                parallel_cycles=parallel_cycles,
+                lock_index=0,
+                cs_cycles=cs_cycles,
+            )
+            for _ in range(cs_per_thread)
+        ]
+        for _ in range(num_threads)
+    ]
+    return Workload(
+        benchmark=benchmark,
+        num_threads=num_threads,
+        num_locks=1,
+        lock_homes=[home_node],
+        items=items,
+    )

@@ -1,0 +1,101 @@
+"""Tests for the analytical cross-check models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    LockServiceModel,
+    amdahl_speedup,
+    eyerman_eeckhout_speedup,
+    predicted_inpg_gain,
+)
+
+
+class TestAmdahl:
+    def test_fully_parallel(self):
+        assert amdahl_speedup(1.0, 64) == pytest.approx(64.0)
+
+    def test_fully_sequential(self):
+        assert amdahl_speedup(0.0, 64) == pytest.approx(1.0)
+
+    def test_half_parallel_limit(self):
+        # limit of 1/(1-f) = 2 as n -> inf
+        assert amdahl_speedup(0.5, 10**9) == pytest.approx(2.0, rel=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+    @given(st.floats(0, 1), st.integers(1, 1024))
+    @settings(max_examples=100)
+    def test_speedup_bounded_by_n(self, f, n):
+        s = amdahl_speedup(f, n)
+        assert 1.0 - 1e-9 <= s <= n + 1e-9
+
+
+class TestEyermanEeckhout:
+    def test_reduces_to_amdahl_without_cs(self):
+        ee = eyerman_eeckhout_speedup(0.2, 0.8, 0.0, 0.0, 16)
+        assert ee == pytest.approx(amdahl_speedup(0.8, 16))
+
+    def test_fully_contended_cs_is_sequential(self):
+        ee = eyerman_eeckhout_speedup(0.0, 0.5, 0.5, 1.0, 10**6)
+        # 0.5 stays sequential -> speedup -> 2
+        assert ee == pytest.approx(2.0, rel=1e-3)
+
+    def test_contention_monotonically_hurts(self):
+        speeds = [
+            eyerman_eeckhout_speedup(0.1, 0.7, 0.2, p, 64)
+            for p in (0.0, 0.3, 0.6, 1.0)
+        ]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            eyerman_eeckhout_speedup(0.5, 0.5, 0.5, 0.1, 4)
+
+
+class TestLockServiceModel:
+    def test_light_contention_utilization(self):
+        m = LockServiceModel(service_cycles=200, think_cycles=31800,
+                             threads=4)
+        assert m.demand == pytest.approx(4 * 200 / 32000)
+        assert not m.is_saturated
+        assert m.coh_fraction() < 0.05
+
+    def test_saturation_detection(self):
+        m = LockServiceModel(service_cycles=200, think_cycles=300,
+                             threads=64)
+        assert m.is_saturated
+        assert m.utilization == 1.0
+        # saturated throughput is bounded by the service rate
+        assert m.throughput_cs_per_kcycle() == pytest.approx(5.0)
+
+    def test_wait_grows_with_threads(self):
+        waits = [
+            LockServiceModel(200, 2000, t).mean_wait_cycles()
+            for t in (2, 4, 8, 16)
+        ]
+        assert waits == sorted(waits)
+
+    def test_matches_simulator_regime(self):
+        """The profile calibration target: ~9 threads per lock at
+        moderate utilization gives a COH share between CSE-like and
+        dominant — the Figure 9 regime."""
+        m = LockServiceModel(service_cycles=220, think_cycles=1500,
+                             threads=8)
+        assert 0.4 < m.demand < 1.6
+
+
+class TestInpgGainModel:
+    def test_first_order_product(self):
+        assert predicted_inpg_gain(0.5, 0.4) == pytest.approx(0.2)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            predicted_inpg_gain(1.2, 0.1)
+        with pytest.raises(ValueError):
+            predicted_inpg_gain(0.5, -0.1)

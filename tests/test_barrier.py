@@ -1,0 +1,107 @@
+"""Tests for the sense-reversing barrier."""
+
+import pytest
+
+from repro.config import NocConfig, SystemConfig
+from repro.coherence import MemorySystem
+from repro.locks import AddressSpace
+from repro.locks.barrier import SenseBarrier
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def make_barrier(parties, width=4, height=4):
+    cfg = SystemConfig(noc=NocConfig(width=width, height=height),
+                       num_threads=width * height)
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    barrier = SenseBarrier(sim, mem, AddressSpace(mem), 0, 5, cfg, parties)
+    return sim, mem, barrier
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self):
+        sim, mem, barrier = make_barrier(parties=6)
+        released = []
+        for core, delay in enumerate((0, 10, 30, 55, 80, 200)):
+            sim.schedule(
+                delay,
+                lambda c=core: barrier.arrive(
+                    c, lambda c=c: released.append((c, sim.cycle))
+                ),
+            )
+        sim.run(until=1_000_000)
+        assert sorted(c for c, _ in released) == list(range(6))
+        times = [t for _, t in released]
+        # nobody is released before the last arrival (cycle 200)
+        assert min(times) >= 200
+        assert barrier.episodes == 1
+
+    def test_nobody_released_early(self):
+        sim, mem, barrier = make_barrier(parties=4)
+        released = []
+        for core in range(3):  # one party missing
+            barrier.arrive(core, lambda c=core: released.append(c))
+        sim.run(until=100_000)
+        assert released == []
+
+    def test_barrier_is_reusable(self):
+        sim, mem, barrier = make_barrier(parties=3)
+        log = []
+
+        def round_trip(core, rounds):
+            if rounds == 0:
+                log.append(("done", core))
+                return
+            barrier.arrive(
+                core,
+                lambda: (log.append((core, rounds)),
+                         round_trip(core, rounds - 1))[-1],
+            )
+
+        for core in range(3):
+            round_trip(core, 4)
+        sim.run(until=5_000_000)
+        assert sorted(e for e in log if e[0] == "done") == [
+            ("done", 0), ("done", 1), ("done", 2)
+        ]
+        assert barrier.episodes == 4
+
+    def test_rounds_are_ordered(self):
+        """No thread enters round k+1 before every thread passed round k."""
+        sim, mem, barrier = make_barrier(parties=4)
+        passes = []
+
+        def loop(core, remaining):
+            if remaining == 0:
+                return
+            barrier.arrive(
+                core,
+                lambda: (passes.append((sim.cycle, core, remaining)),
+                         sim.schedule(core * 7 + 5,
+                                      lambda: loop(core, remaining - 1)))[-1],
+            )
+
+        for core in range(4):
+            loop(core, 3)
+        sim.run(until=5_000_000)
+        # group passes by round index and check time separation
+        by_round = {}
+        for t, core, remaining in passes:
+            by_round.setdefault(remaining, []).append(t)
+        assert set(by_round) == {3, 2, 1}
+        assert max(by_round[3]) <= min(by_round[2])
+        assert max(by_round[2]) <= min(by_round[1])
+
+    def test_single_party_barrier(self):
+        sim, mem, barrier = make_barrier(parties=1)
+        released = []
+        barrier.arrive(0, lambda: released.append(0))
+        sim.run(until=100_000)
+        assert released == [0]
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            make_barrier(parties=0)

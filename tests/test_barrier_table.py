@@ -1,0 +1,151 @@
+"""Unit and property tests for the iNPG locking barrier table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inpg.barrier_table import EIPhase, LockingBarrierTable
+from repro.sim import Simulator
+
+
+def make_table(capacity=16, ei_capacity=16, ttl=128):
+    sim = Simulator()
+    return sim, LockingBarrierTable(sim, capacity, ei_capacity, ttl)
+
+
+class TestBarrierLifecycle:
+    def test_create_and_query(self):
+        sim, table = make_table()
+        assert not table.has_barrier(0x100)
+        assert table.create_barrier(0x100)
+        assert table.has_barrier(0x100)
+
+    def test_create_is_idempotent(self):
+        sim, table = make_table()
+        assert table.create_barrier(0x100)
+        assert table.create_barrier(0x100)
+        assert table.barriers_created == 1
+
+    def test_capacity_limit(self):
+        sim, table = make_table(capacity=2)
+        assert table.create_barrier(0x100)
+        assert table.create_barrier(0x200)
+        assert not table.create_barrier(0x300)
+        assert table.is_full
+
+    def test_ttl_expires_idle_barrier(self):
+        sim, table = make_table(ttl=128)
+        table.create_barrier(0x100)
+        sim.run(until=127)
+        assert table.has_barrier(0x100)
+        sim.run(until=200)
+        assert not table.has_barrier(0x100)
+        assert table.barriers_expired == 1
+
+    def test_ei_entry_suspends_ttl(self):
+        sim, table = make_table(ttl=128)
+        table.create_barrier(0x100)
+        sim.run(until=100)
+        assert table.try_stop(0x100, core=3)
+        sim.run(until=500)
+        # EI entry never resolved: barrier stays alive indefinitely
+        assert table.has_barrier(0x100)
+
+    def test_ttl_restarts_after_last_ei_freed(self):
+        sim, table = make_table(ttl=128)
+        table.create_barrier(0x100)
+        assert table.try_stop(0x100, core=3)
+        sim.run(until=300)
+        table.mark_ack_received(0x100, 3)
+        table.mark_ack_forwarded(0x100, 3)
+        sim.run(until=300 + 127)
+        assert table.has_barrier(0x100)
+        sim.run(until=300 + 129)
+        assert not table.has_barrier(0x100)
+
+
+class TestEIEntries:
+    def test_stop_requires_barrier(self):
+        sim, table = make_table()
+        assert not table.try_stop(0x100, core=1)
+
+    def test_stop_allocates_entry_with_inv_phase(self):
+        sim, table = make_table()
+        table.create_barrier(0x100)
+        assert table.try_stop(0x100, core=1)
+        entry = table.barriers[0x100].ei[1]
+        assert entry.phase is EIPhase.INV_GENERATED
+
+    def test_phases_advance(self):
+        sim, table = make_table()
+        table.create_barrier(0x100)
+        table.try_stop(0x100, core=1)
+        table.mark_getx_forwarded(0x100, 1)
+        assert table.barriers[0x100].ei[1].phase is EIPhase.GETX_FORWARDED
+        table.mark_ack_received(0x100, 1)
+        assert table.barriers[0x100].ei[1].phase is EIPhase.INVACK_RECEIVED
+        table.mark_ack_forwarded(0x100, 1)
+        assert 1 not in table.barriers[0x100].ei  # freed
+
+    def test_duplicate_stop_same_core_rejected(self):
+        sim, table = make_table()
+        table.create_barrier(0x100)
+        assert table.try_stop(0x100, core=1)
+        assert not table.try_stop(0x100, core=1)
+
+    def test_ei_pool_shared_across_barriers(self):
+        sim, table = make_table(ei_capacity=3)
+        table.create_barrier(0x100)
+        table.create_barrier(0x200)
+        assert table.try_stop(0x100, core=1)
+        assert table.try_stop(0x100, core=2)
+        assert table.try_stop(0x200, core=3)
+        assert not table.try_stop(0x200, core=4)  # pool exhausted
+        assert table.ei_in_use == 3
+
+    def test_invalid_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LockingBarrierTable(sim, capacity=0)
+
+
+class TestBarrierProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["create", "stop", "ack", "fwd", "tick"]),
+                st.integers(min_value=0, max_value=3),   # addr index
+                st.integers(min_value=0, max_value=7),   # core
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_ei_usage_never_exceeds_capacity(self, ops):
+        sim, table = make_table(capacity=2, ei_capacity=4, ttl=16)
+        addrs = [0x100, 0x200, 0x300, 0x400]
+        for op, ai, core in ops:
+            addr = addrs[ai]
+            if op == "create":
+                table.create_barrier(addr)
+            elif op == "stop":
+                table.try_stop(addr, core)
+            elif op == "ack":
+                table.mark_ack_received(addr, core)
+            elif op == "fwd":
+                table.mark_ack_forwarded(addr, core)
+            elif op == "tick":
+                sim.run(until=sim.cycle + 8)
+            assert table.ei_in_use <= 4
+            assert len(table.barriers) <= 2
+
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=30)
+    def test_barrier_lives_exactly_ttl_cycles_when_idle(self, ttl):
+        sim = Simulator()
+        table = LockingBarrierTable(sim, ttl=ttl)
+        table.create_barrier(0xA00)
+        sim.run(until=ttl - 1)
+        assert table.has_barrier(0xA00)
+        sim.run(until=ttl + 1)
+        assert not table.has_barrier(0xA00)

@@ -1,0 +1,170 @@
+"""Integration tests for iNPG big routers in a live system."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import InpgConfig, NocConfig, SystemConfig
+from repro.coherence import MemorySystem, MessageType
+from repro.inpg import BigRouter, evenly_spread_nodes, interleaved_nodes
+from repro.noc import Network, Router
+from repro.noc.topology import Mesh
+from repro.sim import Simulator
+
+
+def make_inpg_system(width=4, height=4, num_big=8, **inpg_kw):
+    cfg = SystemConfig(
+        noc=NocConfig(width=width, height=height),
+        inpg=InpgConfig(enabled=True, num_big_routers=num_big, **inpg_kw),
+    )
+    sim = Simulator()
+    mesh = Mesh(width, height)
+    big_nodes = evenly_spread_nodes(mesh, num_big)
+
+    def factory(sim, node, net):
+        if node in big_nodes:
+            return BigRouter(sim, node, net, cfg.inpg)
+        return Router(sim, node, net)
+
+    net = Network(sim, cfg.noc, router_factory=factory)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    return sim, net, mem
+
+
+def swap_burst(mem, addr, cores):
+    results = {}
+    for core in cores:
+        mem.rmw(
+            core, addr, lambda old: (1, old),
+            lambda v, core=core: results.setdefault(core, v),
+            fails_if=lambda v: v != 0,
+        )
+    return results
+
+
+class TestBigRouterDeployment:
+    def test_factory_places_big_routers(self):
+        sim, net, mem = make_inpg_system(num_big=8)
+        assert len(net.big_router_nodes()) == 8
+
+    def test_interleaved_pattern_is_checkerboard(self):
+        mesh = Mesh(8, 8)
+        nodes = interleaved_nodes(mesh)
+        assert len(nodes) == 32
+        for n in nodes:
+            x, y = mesh.coords(n)
+            assert (x + y) % 2 == 1
+
+    def test_evenly_spread_counts(self):
+        mesh = Mesh(8, 8)
+        for count in (0, 4, 16, 32, 64):
+            assert len(evenly_spread_nodes(mesh, count)) == count
+
+    def test_spread_rejects_invalid_count(self):
+        with pytest.raises(ValueError):
+            evenly_spread_nodes(Mesh(4, 4), 17)
+
+
+class TestEarlyInvalidation:
+    def test_swap_burst_triggers_stops_and_early_invs(self):
+        sim, net, mem = make_inpg_system(num_big=16)  # all routers big
+        addr = mem.addr_for_home(10)
+        # establish S copies so there is something to invalidate
+        for core in range(16):
+            mem.load(core, addr, lambda v: None)
+        sim.run()
+        results = swap_burst(mem, addr, range(16))
+        sim.run()
+        assert len(results) == 16
+        assert sum(1 for v in results.values() if v == 0) == 1
+        assert mem.stats.getx_stopped > 0
+        assert mem.stats.early_invs_generated == mem.stats.getx_stopped
+
+    def test_all_barrier_phases_complete(self):
+        sim, net, mem = make_inpg_system(num_big=16)
+        addr = mem.addr_for_home(10)
+        for core in range(16):
+            mem.load(core, addr, lambda v: None)
+        sim.run()
+        swap_burst(mem, addr, range(16))
+        sim.run()
+        # every EI entry must be freed (ack received and forwarded)
+        for node, router in net.routers.items():
+            if router.is_big:
+                assert router.table.ei_in_use == 0
+                assert router.acks_forwarded == router.getx_stopped
+
+    def test_early_acks_prune_or_relay(self):
+        sim, net, mem = make_inpg_system(num_big=16)
+        addr = mem.addr_for_home(10)
+        for core in range(16):
+            mem.load(core, addr, lambda v: None)
+        sim.run()
+        swap_burst(mem, addr, range(16))
+        sim.run()
+        early = [r for r in mem.stats.inv_records if r.early]
+        assert early, "expected early invalidation round trips"
+        normal = [r for r in mem.stats.inv_records if not r.early]
+        if normal:
+            mean_early = sum(r.rtt for r in early) / len(early)
+            mean_normal = sum(r.rtt for r in normal) / len(normal)
+            assert mean_early < mean_normal
+
+    def test_plain_stores_pass_untouched(self):
+        sim, net, mem = make_inpg_system(num_big=16)
+        addr = mem.addr_for_home(3)
+        mem.store(0, addr, 5, lambda v: None)
+        sim.run()
+        mem.store(9, addr, 6, lambda v: None)
+        sim.run()
+        assert mem.stats.getx_stopped == 0
+        assert mem.read(addr) == 6
+
+    def test_full_table_passes_requests_through(self):
+        sim, net, mem = make_inpg_system(
+            num_big=16, barrier_table_size=1, ei_entries=1
+        )
+        addr_a = mem.addr_for_home(10)
+        addr_b = mem.addr_for_home(10, )
+        for core in range(8):
+            mem.load(core, addr_a, lambda v: None)
+        sim.run()
+        swap_burst(mem, addr_a, range(8))
+        sim.run()
+        # correctness preserved even with a tiny table
+        assert mem.read(addr_a) == 1
+
+    def test_mutual_exclusion_preserved_under_inpg(self):
+        """The headline safety property: exactly one winner per burst."""
+        sim, net, mem = make_inpg_system(num_big=16)
+        addr = mem.addr_for_home(6)
+        for round_no in range(4):
+            results = swap_burst(mem, addr, range(12))
+            sim.run()
+            winners = [c for c, v in results.items() if v == 0]
+            assert len(winners) == 1, f"round {round_no}: winners={winners}"
+            assert len(results) == 12
+            # the holder frees the lock for the next round
+            mem.store(winners[0], addr, 0, lambda v: None)
+            sim.run()
+
+
+class TestStaleEarlyInv:
+    def test_owner_keeps_line_on_late_early_inv(self):
+        """An early Inv arriving after its target won ownership is stale."""
+        sim, net, mem = make_inpg_system(num_big=16)
+        addr = mem.addr_for_home(10)
+        for core in range(8):
+            mem.load(core, addr, lambda v: None)
+        sim.run()
+        results = swap_burst(mem, addr, range(8))
+        sim.run()
+        winner = next(c for c, v in results.items() if v == 0)
+        # the winner must still own its line (no stale-inv destruction)
+        from repro.coherence import L1State
+        assert mem.l1s[winner].state_of(addr) in (
+            L1State.MODIFIED, L1State.OWNED
+        )
+        home = mem.home_of(addr)
+        assert mem.dirs[home].entry(addr).owner == winner

@@ -1,0 +1,86 @@
+"""Tests for the online protocol checker — and checked full runs."""
+
+import pytest
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.config import NocConfig
+from repro.coherence import L1State, MemorySystem
+from repro.coherence.checker import ProtocolChecker, ProtocolViolation
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def make_checked_system(**cfg_kw):
+    cfg = SystemConfig(noc=NocConfig(width=4, height=4), num_threads=16,
+                       **cfg_kw)
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    checker = ProtocolChecker(sim, mem)
+    return sim, mem, checker
+
+
+class TestChecker:
+    def test_clean_run_has_no_violations(self):
+        sim, mem, checker = make_checked_system()
+        addr = mem.addr_for_home(3)
+        for core in range(6):
+            mem.rmw(core, addr, lambda old: (old + 1, old), lambda v: None,
+                    ll_sc=True)
+        sim.run(until=1_000_000)
+        checker.check_tracked_copies()
+        assert checker.report.clean
+        assert checker.report.transactions_observed >= 6
+        assert checker.report.writes_observed == 6
+
+    def test_detects_forged_double_writer(self):
+        sim, mem, checker = make_checked_system()
+        addr = mem.addr_for_home(3)
+        mem.rmw(0, addr, lambda old: (1, old), lambda v: None)
+        sim.run()
+        # forge a second Modified copy behind the protocol's back
+        mem.l1s[9].lines[addr] = L1State.MODIFIED
+        with pytest.raises(ProtocolViolation):
+            checker.check_block(addr)
+
+    def test_detects_untracked_copy(self):
+        sim, mem, checker = make_checked_system()
+        addr = mem.addr_for_home(3)
+        mem.store(0, addr, 5, lambda v: None)
+        sim.run()
+        mem.l1s[7].lines[addr] = L1State.SHARED  # forged, untracked
+        with pytest.raises(ProtocolViolation):
+            checker.check_tracked_copies()
+
+    def test_non_strict_collects_instead_of_raising(self):
+        sim, mem, checker = make_checked_system()
+        checker.strict = False
+        addr = mem.addr_for_home(3)
+        mem.store(0, addr, 5, lambda v: None)
+        sim.run()
+        mem.l1s[7].lines[addr] = L1State.SHARED
+        checker.check_tracked_copies()
+        assert not checker.report.clean
+        assert "untracked" in checker.report.violations[0]
+
+
+class TestCheckedFullRuns:
+    """End-to-end contended runs with the checker armed."""
+
+    @pytest.mark.parametrize("mechanism", ["original", "inpg"])
+    @pytest.mark.parametrize("primitive", ["tas", "ticket", "mcs", "qsl"])
+    def test_contended_run_is_protocol_clean(self, primitive, mechanism):
+        cfg = SystemConfig(
+            noc=NocConfig(width=4, height=4), num_threads=16
+        ).with_mechanism(mechanism)
+        wl = single_lock_workload(16, home_node=5, cs_per_thread=2,
+                                  cs_cycles=60, parallel_cycles=150)
+        system = ManyCoreSystem(cfg, wl, primitive=primitive)
+        checker = ProtocolChecker(system.sim, system.memsys, period=500)
+        result = system.run(max_cycles=20_000_000)
+        system.sim.run(until=system.sim.cycle + 100_000)
+        checker.check_tracked_copies()
+        assert result.cs_completed == 32
+        assert checker.report.clean, checker.report.violations[:3]
+        assert checker.report.samples > 0

@@ -1,0 +1,55 @@
+"""Tests for the inpg-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["freqmine"])
+        assert args.mechanism == "original"
+        assert args.primitive == "qsl"
+        assert args.scale == 1.0
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["freqmine", "--mechanism", "magic"])
+
+
+class TestMain:
+    def test_benchmark_run_prints_summary(self, capsys):
+        rc = main(["vips", "--scale", "0.4", "--primitive", "mcs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vips [original/mcs]" in out
+        assert "roi_cycles" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        rc = main(["vips", "--scale", "0.4", "--primitive", "mcs",
+                   "--json"])
+        assert rc == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["benchmark"] == "vips"
+        assert parsed["cs_completed"] > 0
+
+    def test_microbench_with_gantt(self, capsys):
+        rc = main(["microbench", "--threads", "8", "--primitive", "mcs",
+                   "--gantt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "microbench [original/mcs]" in out
+        assert "t0" in out  # gantt rows
+
+    def test_ttl_alias(self, capsys):
+        rc = main(["vips", "--scale", "0.4", "--primitive", "TTL"])
+        assert rc == 0
+        assert "[original/ticket]" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        rc = main(["--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "freqmine" in out and "kdtree" in out

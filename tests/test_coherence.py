@@ -1,0 +1,230 @@
+"""Integration tests for the MOESI directory protocol."""
+
+import pytest
+
+from repro.coherence import L1State, MemorySystem, MessageType
+from repro.config import NocConfig, SystemConfig
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def make_system(width=4, height=4, **cfg_kw):
+    cfg = SystemConfig(noc=NocConfig(width=width, height=height), **cfg_kw)
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    memsys = MemorySystem(sim, cfg, net)
+    net.memsys = memsys
+    return sim, memsys
+
+
+class TestLoads:
+    def test_cold_load_returns_default_zero(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(5)
+        got = []
+        mem.load(0, addr, got.append)
+        sim.run()
+        assert got == [0]
+        assert mem.l1s[0].state_of(addr) is L1State.SHARED
+
+    def test_load_hit_is_fast_and_local(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(5)
+        mem.load(0, addr, lambda v: None)
+        sim.run()
+        packets_before = mem.network.packets_injected
+        got = []
+        mem.load(0, addr, got.append)
+        sim.run()
+        assert got == [0]
+        assert mem.network.packets_injected == packets_before  # no traffic
+
+    def test_concurrent_loads_coalesce_in_mshr(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(9)
+        got = []
+        mem.load(0, addr, got.append)
+        mem.load(0, addr, got.append)
+        sim.run()
+        assert got == [0, 0]
+        # one GetS, one Data
+        assert mem.stats.msg_counts["GetS"] == 1
+
+    def test_load_after_remote_write_sees_new_value(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(3)
+        mem.rmw(1, addr, lambda old: (42, old), lambda v: None)
+        sim.run()
+        got = []
+        mem.load(2, addr, got.append)
+        sim.run()
+        assert got == [42]
+
+
+class TestStoresAndRmw:
+    def test_rmw_returns_old_value_and_commits(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(7)
+        got = []
+        mem.rmw(0, addr, lambda old: (old + 5, old), got.append)
+        sim.run()
+        assert got == [0]
+        assert mem.read(addr) == 5
+        assert mem.l1s[0].state_of(addr) is L1State.MODIFIED
+
+    def test_write_hit_in_modified_state_is_silent(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(7)
+        mem.rmw(0, addr, lambda old: (1, old), lambda v: None)
+        sim.run()
+        packets_before = mem.network.packets_injected
+        mem.store(0, addr, 0, lambda v: None)
+        sim.run()
+        assert mem.network.packets_injected == packets_before
+        assert mem.read(addr) == 0
+
+    def test_store_invalidates_sharers(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(2)
+        for core in (4, 5, 6):
+            mem.load(core, addr, lambda v: None)
+        sim.run()
+        mem.store(7, addr, 9, lambda v: None)
+        sim.run()
+        for core in (4, 5, 6):
+            assert mem.l1s[core].state_of(addr) is L1State.INVALID
+        assert mem.l1s[7].state_of(addr) is L1State.MODIFIED
+        assert mem.stats.msg_counts["Inv"] == 3
+        assert mem.stats.msg_counts["InvAck"] == 3
+
+    def test_ownership_transfer_via_fwd_getx(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(1)
+        mem.rmw(0, addr, lambda old: (10, old), lambda v: None)
+        sim.run()
+        got = []
+        mem.rmw(8, addr, lambda old: (old + 1, old), got.append)
+        sim.run()
+        assert got == [10]
+        assert mem.read(addr) == 11
+        assert mem.l1s[0].state_of(addr) is L1State.INVALID
+        assert mem.l1s[8].state_of(addr) is L1State.MODIFIED
+        assert mem.stats.msg_counts["FwdGetX"] == 1
+
+    def test_sequential_rmws_serialize_correctly(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(0)
+        results = []
+        for core in range(8):
+            mem.rmw(core, addr, lambda old: (old + 1, old), results.append)
+        sim.run()
+        # every fetch-and-increment observes a distinct old value
+        assert sorted(results) == list(range(8))
+        assert mem.read(addr) == 8
+
+    def test_overlapping_writes_same_core_rejected(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(0)
+        mem.rmw(0, addr, lambda old: (1, old), lambda v: None)
+        with pytest.raises(RuntimeError):
+            mem.rmw(0, addr, lambda old: (2, old), lambda v: None)
+
+
+class TestFailFast:
+    def test_losing_swap_fails_without_writing(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(6)
+        results = {}
+        occupied = lambda v: v != 0
+
+        def swap(core):
+            mem.rmw(
+                core, addr, lambda old: (1, old),
+                lambda v, core=core: results.setdefault(core, v),
+                fails_if=occupied,
+            )
+
+        for core in range(6):
+            swap(core)
+        sim.run()
+        # exactly one core saw 0 (won); the rest observed 1 and wrote nothing
+        winners = [c for c, v in results.items() if v == 0]
+        assert len(winners) == 1
+        assert mem.read(addr) == 1
+        assert len(results) == 6
+
+    def test_losers_receive_tracked_shared_copies(self):
+        """Losers get copies with their fail answer (paper Step 4), and
+        every installed copy is tracked by the directory."""
+        sim, mem = make_system()
+        addr = mem.addr_for_home(6)
+        done = []
+        for core in range(4):
+            mem.rmw(core, addr, lambda old: (1, old), done.append,
+                    fails_if=lambda v: v != 0)
+        sim.run()
+        home = mem.home_of(addr)
+        ent = mem.dirs[home].entry(addr)
+        # the winner owns the block (M, or O once it shared copies)
+        owners = [c for c in range(4)
+                  if mem.l1s[c].state_of(addr).owns_data]
+        assert len(owners) == 1
+        assert ent.owner == owners[0]
+        for c in range(4):
+            state = mem.l1s[c].state_of(addr)
+            if state is L1State.SHARED:
+                # a valid loser copy must be directory-tracked
+                assert c in ent.sharers, f"core {c} holds untracked {state}"
+
+    def test_fail_response_with_freed_lock_retries(self):
+        """A loser told 'the value is 0 now' must retry, not fail."""
+        sim, mem = make_system()
+        addr = mem.addr_for_home(4)
+        order = []
+        # winner takes the lock then immediately frees it; by the time the
+        # loser's answer is produced, the value may be 0 -> loser retries
+        # and eventually acquires.
+        def winner_done(v):
+            order.append(("winner", v))
+            mem.store(0, addr, 0, lambda v2: order.append(("freed", v2)))
+
+        mem.rmw(0, addr, lambda old: (1, old), winner_done,
+                fails_if=lambda v: v != 0)
+        mem.rmw(9, addr, lambda old: (1, old),
+                lambda v: order.append(("second", v)),
+                fails_if=lambda v: v != 0)
+        sim.run()
+        assert ("winner", 0) in order
+        labels = [label for label, _ in order]
+        assert "second" in labels
+
+
+class TestDirectoryQueueing:
+    def test_gets_blocked_behind_txn_then_served(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(2)
+        # establish sharers so the write opens a real transaction
+        for core in (1, 3):
+            mem.load(core, addr, lambda v: None)
+        sim.run()
+        got = []
+        mem.store(5, addr, 77, lambda v: None)
+        # let the store's GetX reach the home and open its transaction,
+        # then issue a load that must queue behind it
+        sim.run(until=sim.cycle + 30)
+        home = mem.home_of(addr)
+        assert mem.dirs[home].entry(addr).busy
+        mem.load(6, addr, got.append)
+        sim.run()
+        assert got == [77]
+
+    def test_unblock_closes_transaction(self):
+        sim, mem = make_system()
+        addr = mem.addr_for_home(2)
+        mem.store(5, addr, 1, lambda v: None)
+        sim.run()
+        home = mem.home_of(addr)
+        ent = mem.dirs[home].entry(addr)
+        assert not ent.busy
+        assert ent.txn is None
+        assert ent.owner == 5

@@ -1,0 +1,150 @@
+"""Property-based tests of coherence invariants.
+
+Hypothesis drives random mixes of loads, stores, RMWs and fail-fast swaps
+from random cores against random addresses, with and without iNPG, and
+checks the invariants that define a correct invalidation protocol:
+
+* SWMR: at quiescence, at most one core holds a writable copy per block;
+* value correctness: fetch-and-increments never lose updates;
+* tracked copies: every valid L1 line is known to the directory;
+* liveness: every issued operation completes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import InpgConfig, NocConfig, SystemConfig
+from repro.coherence import L1State, MemorySystem
+from repro.inpg import BigRouter, evenly_spread_nodes
+from repro.noc import Network, Router
+from repro.noc.topology import Mesh
+from repro.sim import Simulator
+
+
+def build_system(inpg: bool):
+    cfg = SystemConfig(
+        noc=NocConfig(width=4, height=4),
+        num_threads=16,
+        inpg=InpgConfig(enabled=inpg, num_big_routers=8),
+    )
+    sim = Simulator()
+    if inpg:
+        big = evenly_spread_nodes(Mesh(4, 4), 8)
+
+        def factory(s, node, net):
+            if node in big:
+                return BigRouter(s, node, net, cfg.inpg)
+            return Router(s, node, net)
+
+        net = Network(sim, cfg.noc, router_factory=factory)
+    else:
+        net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    return sim, mem
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["load", "store", "inc", "swap"]),
+    st.integers(min_value=0, max_value=15),   # core
+    st.integers(min_value=0, max_value=3),    # address index
+    st.integers(min_value=0, max_value=30),   # issue delay
+)
+
+
+class TestProtocolInvariants:
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=40),
+           inpg=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_swmr_values_and_tracking(self, ops, inpg):
+        sim, mem = build_system(inpg)
+        addrs = [mem.addr_for_home(h) for h in (0, 5, 10, 15)]
+        completed = []
+        issued = 0
+        inc_count = {a: 0 for a in addrs}
+        # at most one op per (core, addr) outstanding: track busy pairs
+        busy = set()
+        for kind, core, ai, delay in ops:
+            addr = addrs[ai]
+            if (core, addr) in busy and kind != "load":
+                continue
+            issued += 1
+            if kind != "load":
+                busy.add((core, addr))
+
+            def make_cb(core=core, addr=addr, kind=kind):
+                def cb(_value):
+                    completed.append(kind)
+                    busy.discard((core, addr))
+                return cb
+
+            if kind == "load":
+                sim.schedule(delay, lambda c=core, a=addr, cb=make_cb():
+                             mem.load(c, a, cb))
+            elif kind == "store":
+                sim.schedule(delay, lambda c=core, a=addr, cb=make_cb():
+                             mem.store(c, a, 7, cb))
+            elif kind == "inc":
+                inc_count[addr] += 1
+                sim.schedule(delay, lambda c=core, a=addr, cb=make_cb():
+                             mem.rmw(c, a, lambda old: (old + 1, old), cb,
+                                     ll_sc=True))
+            else:  # swap (fail-fast)
+                sim.schedule(delay, lambda c=core, a=addr, cb=make_cb():
+                             mem.rmw(c, a, lambda old: (1, old), cb,
+                                     fails_if=lambda v: v != 0))
+        sim.run(until=3_000_000)
+        # liveness: everything completed
+        assert len(completed) == issued
+        assert sim.pending_events == 0 or sim.peek_next_cycle() is None
+        for addr in addrs:
+            # SWMR at quiescence
+            writable = [
+                c for c in range(16)
+                if mem.l1s[c].state_of(addr).can_write
+            ]
+            assert len(writable) <= 1, (addr, writable)
+            owners = [
+                c for c in range(16)
+                if mem.l1s[c].state_of(addr).owns_data
+            ]
+            assert len(owners) <= 1, (addr, owners)
+            # every valid copy is directory-tracked
+            home = mem.home_of(addr)
+            ent = mem.dirs[home].entry(addr)
+            for c in range(16):
+                state = mem.l1s[c].state_of(addr)
+                if state is L1State.SHARED:
+                    assert c in ent.sharers, (addr, c, state)
+                elif state.owns_data:
+                    assert ent.owner == c, (addr, c, state, ent.owner)
+
+    @given(n_incs=st.integers(min_value=2, max_value=16),
+           inpg=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_concurrent_increments_never_lost(self, n_incs, inpg):
+        sim, mem = build_system(inpg)
+        addr = mem.addr_for_home(9)
+        done = []
+        for core in range(n_incs):
+            mem.rmw(core, addr, lambda old: (old + 1, old), done.append,
+                    ll_sc=True)
+        sim.run(until=3_000_000)
+        assert len(done) == n_incs
+        assert mem.read(addr) == n_incs
+        # each increment observed a unique predecessor value
+        assert sorted(done) == list(range(n_incs))
+
+    @given(n=st.integers(min_value=2, max_value=16), inpg=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_swap_race_has_exactly_one_winner(self, n, inpg):
+        sim, mem = build_system(inpg)
+        addr = mem.addr_for_home(6)
+        results = []
+        for core in range(n):
+            mem.rmw(core, addr, lambda old: (1, old), results.append,
+                    fails_if=lambda v: v != 0)
+        sim.run(until=3_000_000)
+        assert len(results) == n
+        assert results.count(0) == 1
+        assert mem.read(addr) == 1

@@ -1,0 +1,62 @@
+"""Unit tests for SystemConfig and mechanism selection."""
+
+import pytest
+
+from repro.config import MECHANISMS, NocConfig, SystemConfig
+
+
+class TestDefaults:
+    def test_table1_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.num_threads == 64
+        assert cfg.noc.width == cfg.noc.height == 8
+        assert cfg.noc.router_pipeline_cycles == 2
+        assert cfg.noc.data_packet_flits == 8
+        assert cfg.noc.ctrl_packet_flits == 1
+        assert cfg.cache.block_bytes == 128
+        assert cfg.cache.l1_latency == 2
+        assert cfg.cache.l2_latency == 6
+        assert cfg.inpg.num_big_routers == 32
+        assert cfg.inpg.barrier_table_size == 16
+        assert cfg.inpg.barrier_ttl == 128
+        assert cfg.ocor.retry_times == 128
+        assert cfg.ocor.priority_levels == 9
+        assert cfg.os.qsl_spin_retries == 128
+
+    def test_both_mechanisms_default_off(self):
+        cfg = SystemConfig()
+        assert not cfg.inpg.enabled
+        assert not cfg.ocor.enabled
+
+
+class TestMechanismSelection:
+    @pytest.mark.parametrize("mech", MECHANISMS)
+    def test_roundtrip(self, mech):
+        cfg = SystemConfig().with_mechanism(mech)
+        assert cfg.inpg.enabled == ("inpg" in mech)
+        assert cfg.ocor.enabled == ("ocor" in mech)
+
+    def test_case_insensitive(self):
+        cfg = SystemConfig().with_mechanism("iNPG+OCOR")
+        assert cfg.inpg.enabled and cfg.ocor.enabled
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            SystemConfig().with_mechanism("magic")
+
+    def test_original_config_unchanged(self):
+        base = SystemConfig()
+        assert base.with_mechanism("original") == base
+
+
+class TestNocConfig:
+    def test_node_coordinates(self):
+        noc = NocConfig(width=8, height=8)
+        assert noc.node_at(5, 6) == 53
+        assert noc.coords(53) == (5, 6)
+        assert noc.num_nodes == 64
+
+    def test_out_of_range(self):
+        noc = NocConfig(width=4, height=4)
+        with pytest.raises(ValueError):
+            noc.node_at(4, 0)

@@ -1,0 +1,129 @@
+"""Smoke tests for the experiment harnesses (small scales, fast)."""
+
+import pytest
+
+from repro.experiments import (
+    clear_cache,
+    fig02_lco,
+    fig07_synthesis,
+    fig09_timing_profile,
+    fig10_rtt,
+    fig11_cs_expedition,
+    fig12_roi,
+    fig13_primitives,
+    fig14_deployment,
+    table1_config,
+)
+from repro.experiments.common import (
+    arithmetic_mean,
+    benchmarks_for,
+    by_group,
+    format_table,
+    geometric_mean,
+)
+from repro.experiments.runner import EXPERIMENTS, main as runner_main
+
+
+class TestCommon:
+    def test_quick_subset_is_two_per_group(self):
+        quick = benchmarks_for(True)
+        assert len(quick) == 6
+        groups = by_group(quick)
+        assert all(len(v) == 2 for v in groups.values())
+
+    def test_full_set_is_24(self):
+        assert len(benchmarks_for(False)) == 24
+
+    def test_means(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([]) == 0.0
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "xyz" in out and "2.50" in out
+
+
+class TestStaticExperiments:
+    def test_table1_renders_config(self):
+        out = table1_config.run().render()
+        assert "8x8 mesh" in out
+        assert "MOESI" in out
+
+    def test_fig7_renders_synthesis(self):
+        result = fig07_synthesis.run()
+        out = result.render()
+        assert "19900" in out.replace(",", "")
+        assert result.generator_gates == 2500
+
+
+class TestSimulationExperiments:
+    """Tiny-scale runs to keep the suite quick."""
+
+    def test_fig2_lco_ordering(self):
+        result = fig02_lco.run(scale=0.4, benchmarks=("kdtree",))
+        per = result.lco["kdtree"]
+        assert set(per) == {"tas", "ticket", "abql", "mcs", "qsl"}
+        assert per["tas"] > 0
+        assert "LCO" in result.render()
+
+    def test_fig9_profile_structure(self):
+        result = fig09_timing_profile.run(scale=0.4)
+        rows = result.by_mechanism()
+        assert set(rows) == {"original", "ocor", "inpg", "inpg+ocor"}
+        for row in rows.values():
+            total = row.parallel_share + row.coh_share + row.cse_share
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig10_microbench(self):
+        result = fig10_rtt.run(cs_per_thread=1, parallel_cycles=100)
+        assert set(result.results) == {"original", "inpg"}
+        inpg = result.results["inpg"]
+        assert inpg.early_share > 0
+        heat = result.heat_map("original")
+        assert len(heat) == 8
+
+    def test_fig11_and_fig12_share_runs(self):
+        clear_cache()
+        f11 = fig11_cs_expedition.run(scale=0.4, quick=True)
+        f12 = fig12_roi.run(scale=0.4, quick=True)
+        assert set(f11.expedition) == set(f12.relative_roi)
+        for bench in f12.relative_roi:
+            assert f12.relative_roi[bench]["original"] == 1.0
+            assert f11.expedition[bench]["original"] == 1.0
+
+    def test_fig13_covers_all_primitives(self):
+        result = fig13_primitives.run(scale=0.3, quick=True)
+        first = next(iter(result.reduction.values()))
+        assert set(first) == {"tas", "ticket", "abql", "mcs", "qsl"}
+
+    def test_fig14_includes_zero_deployment(self):
+        result = fig14_deployment.run(
+            scale=0.3, quick=True, deployments=(0, 32)
+        )
+        for bench, per in result.expedition.items():
+            assert per[0] == 1.0
+
+    def test_fig15_small_meshes(self):
+        from repro.experiments import fig15_sensitivity
+        result = fig15_sensitivity.run(
+            scale=0.3, quick=True, dims=(2, 4), table_sizes=(16,)
+        )
+        assert (2, 16) in result.reduction
+        assert (4, 16) in result.reduction
+        assert "2x2" in result.render()
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert runner_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_single_static_experiment(self, capsys):
+        assert runner_main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

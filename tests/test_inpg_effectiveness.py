@@ -1,0 +1,83 @@
+"""Directional tests for iNPG's core mechanisms.
+
+These pin the *mechanisms* (early invalidations happen, round trips
+shorten, acks get pruned/relayed, correctness holds) rather than
+end-to-end speedups, which depend on workload regime (see DESIGN.md §5).
+"""
+
+import pytest
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+
+
+def contended(mechanism, primitive="tas", threads=64):
+    cfg = SystemConfig().with_mechanism(mechanism)
+    wl = single_lock_workload(
+        threads, home_node=53, cs_per_thread=2,
+        cs_cycles=100, parallel_cycles=300,
+    )
+    return ManyCoreSystem(cfg, wl, primitive=primitive).run(
+        max_cycles=60_000_000
+    )
+
+
+class TestMechanisms:
+    def test_big_routers_generate_early_invalidations(self):
+        r = contended("inpg")
+        s = r.coherence
+        assert s.getx_stopped > 100
+        assert s.early_invs_generated == s.getx_stopped
+
+    def test_early_round_trips_shorter_than_direct(self):
+        r = contended("inpg")
+        by_kind = r.coherence.mean_inv_rtt_by_kind()
+        assert by_kind["early"] > 0
+        assert by_kind["early"] < by_kind["normal"]
+
+    def test_acks_pruned_or_used_at_winner(self):
+        r = contended("inpg")
+        s = r.coherence
+        used = s.early_acks_consumed_before_txn + sum(
+            t.early_acks_used for t in s.lock_txns
+        )
+        assert used > 0
+
+    def test_mean_rtt_not_worse_under_inpg(self):
+        base = contended("original")
+        inpg = contended("inpg")
+        assert inpg.coherence.mean_inv_rtt <= base.coherence.mean_inv_rtt * 1.1
+
+    def test_same_work_completed(self):
+        base = contended("original")
+        inpg = contended("inpg")
+        assert base.cs_completed == inpg.cs_completed == 128
+
+    def test_roi_within_envelope(self):
+        """iNPG must never catastrophically regress the baseline."""
+        base = contended("original")
+        inpg = contended("inpg")
+        assert inpg.roi_cycles <= base.roi_cycles * 1.15
+
+
+class TestBaselineRegime:
+    def test_raw_spinning_baseline_is_lco_heavy(self):
+        """With the paper's raw test_and_set spinning, LCO dominates the
+        contended baseline (Figure 2's regime)."""
+        r = contended("original")
+        assert r.lco_fraction > 0.25
+
+    def test_ttas_ablation_reduces_lco(self):
+        from dataclasses import replace
+        from repro.config import LockSpinConfig
+        cfg_raw = SystemConfig()
+        cfg_ttas = replace(cfg_raw, spin=LockSpinConfig(raw_spin=False))
+        wl = single_lock_workload(64, home_node=53, cs_per_thread=2,
+                                  cs_cycles=100, parallel_cycles=300)
+        raw = ManyCoreSystem(cfg_raw, wl, primitive="tas").run(
+            max_cycles=60_000_000
+        )
+        ttas = ManyCoreSystem(cfg_ttas, wl, primitive="tas").run(
+            max_cycles=60_000_000
+        )
+        # the software fix removes a large share of lock txn traffic
+        assert len(ttas.coherence.lock_txns) < len(raw.coherence.lock_txns)

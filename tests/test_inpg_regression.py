@@ -1,0 +1,79 @@
+"""Regression tests for bugs found during development.
+
+Each test pins a specific failure mode that once deadlocked or corrupted
+the protocol; see the module docstrings referenced in DESIGN.md §5.
+"""
+
+import pytest
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.coherence import L1State
+
+
+def run_matrix_case(primitive, mechanism, threads=64, cs_per_thread=2):
+    cfg = SystemConfig().with_mechanism(mechanism)
+    wl = single_lock_workload(
+        threads, home_node=53, cs_per_thread=cs_per_thread,
+        cs_cycles=100, parallel_cycles=300,
+    )
+    system = ManyCoreSystem(cfg, wl, primitive=primitive)
+    result = system.run(max_cycles=30_000_000)
+    return system, result
+
+
+class TestNoUntrackedCopies:
+    """The deadlock family: a core holding a valid line the directory
+    does not track never gets invalidated, so its line monitor never
+    fires.  After a full contended run, every valid lock-line copy must
+    be directory-tracked."""
+
+    @pytest.mark.parametrize("mechanism", ["original", "inpg"])
+    @pytest.mark.parametrize("primitive", ["tas", "ticket", "abql", "qsl"])
+    def test_all_copies_tracked_after_run(self, primitive, mechanism):
+        system, result = run_matrix_case(primitive, mechanism, threads=32,
+                                         cs_per_thread=1)
+        mem = system.memsys
+        for lock in system.locks:
+            addr = lock.addr
+            home = mem.home_of(addr)
+            ent = mem.dirs[home].entry(addr)
+            for core in range(32):
+                state = mem.l1s[core].state_of(addr)
+                if state is L1State.SHARED:
+                    assert core in ent.sharers, (primitive, mechanism, core)
+                elif state.owns_data:
+                    assert ent.owner == core, (primitive, mechanism, core)
+
+
+class TestWinnerDemotesWhenSharing:
+    """Answering forwarded losers must demote the winner M -> O, or its
+    release commits silently while sharers hold copies (lost wakeup)."""
+
+    def test_winner_not_modified_after_sharing(self):
+        system, result = run_matrix_case("tas", "original", threads=16,
+                                         cs_per_thread=1)
+        # completed correctly despite heavy sharing
+        assert result.cs_completed == 16
+
+
+class TestStarvationFreeFailForwarding:
+    """FwdFail requests that pile onto a pending write must be answered
+    on *every* completion path (commit and fail), or forwarded losers
+    starve."""
+
+    @pytest.mark.parametrize("primitive", ["tas", "ticket", "mcs"])
+    def test_heavy_contention_all_complete(self, primitive):
+        system, result = run_matrix_case(primitive, "original")
+        assert result.cs_completed == 128
+
+
+class TestStaleEarlyInvDoesNotDestroyOwnership:
+    """A late early-Inv must not kill a legitimately granted M line."""
+
+    def test_inpg_heavy_contention_completes(self):
+        system, result = run_matrix_case("mcs", "inpg")
+        assert result.cs_completed == 128
+        # all barrier-table EI entries drained
+        for router in system.network.routers.values():
+            if router.is_big:
+                assert router.table.ei_in_use == 0

@@ -1,0 +1,50 @@
+"""Tests for the big-router activity report."""
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.config import NocConfig
+from repro.inpg.report import BigRouterReport, collect_report
+
+
+def run_inpg_system():
+    cfg = SystemConfig(
+        noc=NocConfig(width=4, height=4), num_threads=16
+    ).with_mechanism("inpg")
+    wl = single_lock_workload(16, home_node=5, cs_per_thread=2,
+                              cs_cycles=60, parallel_cycles=150)
+    system = ManyCoreSystem(cfg, wl, primitive="tas")
+    system.run(max_cycles=20_000_000)
+    return system
+
+
+class TestReport:
+    def test_collects_all_big_routers(self):
+        system = run_inpg_system()
+        report = collect_report(system)
+        assert len(report.routers) == len(system.network.big_router_nodes())
+
+    def test_totals_match_global_stats(self):
+        system = run_inpg_system()
+        report = collect_report(system)
+        assert report.total_stopped == system.memsys.stats.getx_stopped
+        assert report.total_barriers > 0
+
+    def test_render_contains_summary(self):
+        system = run_inpg_system()
+        out = collect_report(system).render()
+        assert "big routers" in out
+        assert "GetX stopped" in out
+
+    def test_hottest_sorted_descending(self):
+        system = run_inpg_system()
+        hottest = collect_report(system).hottest(3)
+        stops = [r.getx_stopped for r in hottest]
+        assert stops == sorted(stops, reverse=True)
+
+    def test_baseline_has_no_big_routers(self):
+        cfg = SystemConfig(noc=NocConfig(width=4, height=4), num_threads=16)
+        wl = single_lock_workload(4, home_node=5, cs_per_thread=1)
+        system = ManyCoreSystem(cfg, wl, primitive="mcs")
+        system.run()
+        report = collect_report(system)
+        assert report.routers == []
+        assert report.total_stopped == 0

@@ -1,0 +1,149 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_cycle_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append(5))
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(3, lambda: fired.append(3))
+        sim.run()
+        assert fired == [1, 3, 5]
+
+    def test_same_cycle_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(7, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_zero_delay_fires_same_cycle(self):
+        sim = Simulator()
+        seen = {}
+        def outer():
+            sim.schedule(0, lambda: seen.setdefault("inner", sim.cycle))
+        sim.schedule(4, outer)
+        sim.run()
+        assert seen["inner"] == 4
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(12, lambda: seen.append(sim.cycle))
+        sim.run()
+        assert seen == [12]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+
+class TestExecution:
+    def test_run_until_pauses_and_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3, lambda: fired.append("a"))
+        sim.schedule(10, lambda: fired.append("b"))
+        sim.run(until=5)
+        assert fired == ["a"]
+        assert sim.cycle == 5
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.cycle == 10
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(2, lambda: None)
+        sim.run(until=100)
+        assert sim.cycle == 100
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        fired = []
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+        sim.schedule(1, stopper)
+        sim.schedule(2, lambda: fired.append("late"))
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_max_events_bounds_run(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_peek_next_cycle_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1, lambda: None)
+        sim.schedule(9, lambda: None)
+        first.cancel()
+        assert sim.peek_next_cycle() == 9
+
+    def test_peek_empty_queue(self):
+        sim = Simulator()
+        assert sim.peek_next_cycle() is None
+
+    def test_drain_returns_live_events(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        dead = sim.schedule(2, lambda: None)
+        dead.cancel()
+        pending = sim.drain()
+        assert len(pending) == 1
+        assert sim.pending_events == 0
+
+
+class TestEventOrdering:
+    def test_event_lt_by_cycle_then_seq(self):
+        a = Event(1, 5, lambda: None)
+        b = Event(2, 0, lambda: None)
+        c = Event(1, 6, lambda: None)
+        assert a < b
+        assert a < c
+        assert not (b < a)
+
+    def test_nested_scheduling_maintains_order(self):
+        sim = Simulator()
+        order = []
+        def chain(n):
+            order.append(n)
+            if n < 5:
+                sim.schedule(1, lambda: chain(n + 1))
+        sim.schedule(0, lambda: chain(0))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4, 5]
+        assert sim.cycle == 5

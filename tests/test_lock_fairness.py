@@ -1,0 +1,76 @@
+"""Fairness characteristics of the lock primitives.
+
+FIFO primitives (ticket, ABQL, MCS) hand the lock over in arrival order;
+competitive primitives (TAS) favour whoever wins the coherence race.
+These tests pin the *qualitative* fairness contract of each primitive.
+"""
+
+import pytest
+
+from repro.config import NocConfig, SystemConfig
+from repro.coherence import MemorySystem
+from repro.cpu.os_model import OsModel
+from repro.locks import AddressSpace, make_lock
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def run_rounds(primitive, cores, rounds, cs_cycles=30):
+    cfg = SystemConfig(noc=NocConfig(width=4, height=4), num_threads=16)
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    osm = OsModel(sim, cfg.os, mem)
+    lock = make_lock(primitive, sim, mem, AddressSpace(mem), 0, 5, cfg, osm)
+    grants = []
+
+    def go(core, remaining):
+        lock.acquire(core, lambda: entered(core, remaining))
+
+    def entered(core, remaining):
+        grants.append(core)
+        sim.schedule(cs_cycles, lambda: lock.release(
+            core, lambda: go(core, remaining - 1) if remaining > 1 else None
+        ))
+
+    for core in cores:
+        go(core, rounds)
+    sim.run(until=30_000_000)
+    return grants
+
+
+@pytest.mark.parametrize("primitive", ["ticket", "abql", "mcs"])
+class TestFifoPrimitives:
+    def test_every_thread_progresses_each_round(self, primitive):
+        cores = [0, 3, 7, 12]
+        grants = run_rounds(primitive, cores, rounds=4)
+        assert len(grants) == 16
+        # FIFO: between two grants to the same core, every other waiting
+        # core is granted at least once (no overtaking by more than one
+        # full round)
+        for core in cores:
+            positions = [i for i, c in enumerate(grants) if c == core]
+            assert len(positions) == 4
+            for a, b in zip(positions, positions[1:]):
+                assert b - a <= len(cores) + 1
+
+    def test_acquisition_counts_balanced(self, primitive):
+        cores = [0, 3, 7, 12]
+        grants = run_rounds(primitive, cores, rounds=5)
+        counts = {c: grants.count(c) for c in cores}
+        assert all(v == 5 for v in counts.values())
+
+
+class TestCompetitivePrimitives:
+    def test_tas_completes_all_work_even_if_unfair(self):
+        cores = [0, 3, 7, 12]
+        grants = run_rounds("tas", cores, rounds=4)
+        assert len(grants) == 16
+        counts = {c: grants.count(c) for c in cores}
+        assert all(v == 4 for v in counts.values())
+
+    def test_qsl_completes_all_work(self):
+        cores = [0, 3, 7, 12, 14]
+        grants = run_rounds("qsl", cores, rounds=3)
+        assert len(grants) == 15

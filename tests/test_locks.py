@@ -1,0 +1,196 @@
+"""Behavioural tests for the five lock primitives.
+
+Each primitive must provide mutual exclusion and progress when driven by
+many concurrent threads over the real coherence substrate.
+"""
+
+import pytest
+
+from repro.config import NocConfig, OsConfig, SystemConfig
+from repro.coherence import MemorySystem
+from repro.cpu.os_model import OsModel
+from repro.locks import PRIMITIVES, AddressSpace, canonical_primitive, make_lock
+from repro.locks.mcs import encode, is_locked, next_of
+from repro.locks.ticket import next_ticket, now_serving, pack
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def build(primitive, num_cores=16, width=4, height=4, home=5, **cfg_kw):
+    cfg = SystemConfig(
+        noc=NocConfig(width=width, height=height),
+        num_threads=num_cores,
+        **cfg_kw,
+    )
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    os_model = OsModel(sim, cfg.os, mem)
+    space = AddressSpace(mem)
+    lock = make_lock(primitive, sim, mem, space, 0, home, cfg, os_model)
+    return sim, mem, lock, os_model
+
+
+class CSChecker:
+    """Drives N cores through acquire/CS/release and checks exclusion."""
+
+    def __init__(self, sim, lock, cores, cs_cycles=30, rounds=1):
+        self.sim = sim
+        self.lock = lock
+        self.cs_cycles = cs_cycles
+        self.inside = 0
+        self.max_inside = 0
+        self.completed = []
+        self.order = []
+        for core in cores:
+            for _ in [0] * rounds:
+                pass
+        self._rounds = rounds
+        for core in cores:
+            self._acquire(core, rounds)
+
+    def _acquire(self, core, rounds_left):
+        self.lock.acquire(core, lambda: self._entered(core, rounds_left))
+
+    def _entered(self, core, rounds_left):
+        self.inside += 1
+        self.max_inside = max(self.max_inside, self.inside)
+        self.order.append(core)
+        self.sim.schedule(self.cs_cycles, lambda: self._leave(core, rounds_left))
+
+    def _leave(self, core, rounds_left):
+        self.inside -= 1
+        self.lock.release(core, lambda: self._released(core, rounds_left))
+
+    def _released(self, core, rounds_left):
+        if rounds_left > 1:
+            self._acquire(core, rounds_left - 1)
+        else:
+            self.completed.append(core)
+
+
+@pytest.mark.parametrize("primitive", PRIMITIVES)
+class TestMutualExclusion:
+    def test_single_thread_acquire_release(self, primitive):
+        sim, mem, lock, _ = build(primitive)
+        done = []
+        lock.acquire(3, lambda: lock.release(3, lambda: done.append(True)))
+        sim.run(until=1_000_000)
+        assert done == [True]
+
+    def test_two_threads_mutual_exclusion(self, primitive):
+        sim, mem, lock, _ = build(primitive)
+        checker = CSChecker(sim, lock, cores=[1, 2], cs_cycles=50)
+        sim.run(until=2_000_000)
+        assert sorted(checker.completed) == [1, 2]
+        assert checker.max_inside == 1
+
+    def test_many_threads_all_complete(self, primitive):
+        sim, mem, lock, _ = build(primitive)
+        cores = list(range(12))
+        checker = CSChecker(sim, lock, cores=cores, cs_cycles=20)
+        sim.run(until=5_000_000)
+        assert sorted(checker.completed) == cores
+        assert checker.max_inside == 1
+
+    def test_repeated_rounds(self, primitive):
+        sim, mem, lock, _ = build(primitive)
+        cores = [0, 5, 10, 15]
+        checker = CSChecker(sim, lock, cores=cores, cs_cycles=15, rounds=3)
+        sim.run(until=5_000_000)
+        assert sorted(checker.completed) == sorted(cores)
+        assert len(checker.order) == len(cores) * 3
+
+
+class TestFifoFairness:
+    def test_ticket_grants_in_ticket_order(self):
+        sim, mem, lock, _ = build("ticket")
+        order = []
+        tickets = {}
+        def start(core):
+            lock.acquire(core, lambda: entered(core))
+        def entered(core):
+            order.append(core)
+            tickets[core] = lock._my_ticket[core]
+            sim.schedule(10, lambda: lock.release(core, lambda: None))
+        for core in (2, 7, 11):
+            start(core)
+        sim.run(until=2_000_000)
+        assert len(order) == 3
+        granted_tickets = [tickets[c] for c in order]
+        assert granted_tickets == sorted(granted_tickets)
+
+    def test_abql_slots_are_distinct(self):
+        sim, mem, lock, _ = build("abql")
+        slots = {}
+        def start(core):
+            lock.acquire(core, lambda: entered(core))
+        def entered(core):
+            slots[core] = lock._my_slot[core]
+            sim.schedule(10, lambda: lock.release(core, lambda: None))
+        for core in (1, 4, 9, 13):
+            start(core)
+        sim.run(until=2_000_000)
+        assert len(set(slots.values())) == 4
+
+
+class TestEncodings:
+    def test_ticket_word_packing(self):
+        word = pack(7, 3)
+        assert next_ticket(word) == 7
+        assert now_serving(word) == 3
+
+    def test_ticket_serving_wraps_16_bits(self):
+        word = pack(0xFFFF, 0xFFFF)
+        assert next_ticket(word) == 0xFFFF
+        assert now_serving(word) == 0xFFFF
+
+    def test_mcs_qnode_encoding(self):
+        word = encode(5, 1)
+        assert next_of(word) == 4
+        assert is_locked(word)
+        word = encode(0, 0)
+        assert next_of(word) == -1
+        assert not is_locked(word)
+
+
+class TestQslSleep:
+    def test_contended_qsl_sleeps_and_recovers(self):
+        # tiny spin budget forces the sleep path
+        sim, mem, lock, os_model = build(
+            "qsl", os=OsConfig(qsl_spin_retries=3,
+                               context_switch_cycles=100,
+                               wakeup_cycles=50),
+        )
+        checker = CSChecker(sim, lock, cores=list(range(8)), cs_cycles=200)
+        sim.run(until=10_000_000)
+        assert sorted(checker.completed) == list(range(8))
+        assert os_model.sleeps > 0
+        assert lock.acquired_after_sleep > 0
+
+    def test_no_sleep_when_uncontended(self):
+        sim, mem, lock, os_model = build("qsl")
+        done = []
+        lock.acquire(2, lambda: lock.release(2, lambda: done.append(1)))
+        sim.run(until=1_000_000)
+        assert done and os_model.sleeps == 0
+        assert lock.acquired_spinning == 1
+
+
+class TestFactory:
+    def test_canonical_names_and_aliases(self):
+        assert canonical_primitive("TTL") == "ticket"
+        assert canonical_primitive("tas") == "tas"
+        with pytest.raises(ValueError):
+            canonical_primitive("bogus")
+
+    def test_qsl_requires_os_model(self):
+        cfg = SystemConfig(noc=NocConfig(width=2, height=2), num_threads=4)
+        sim = Simulator()
+        net = Network(sim, cfg.noc)
+        mem = MemorySystem(sim, cfg, net)
+        net.memsys = mem
+        space = AddressSpace(mem)
+        with pytest.raises(ValueError):
+            make_lock("qsl", sim, mem, space, 0, 0, cfg, os_model=None)

@@ -1,0 +1,75 @@
+"""Tests for the DRAM controller model."""
+
+from repro.config import MemoryConfig, NocConfig
+from repro.cpu.memory_model import (
+    MemoryController,
+    MemorySubsystem,
+    controller_nodes,
+)
+from repro.sim import Simulator
+
+
+class TestPlacement:
+    def test_eight_controllers_on_8x8(self):
+        noc = NocConfig(width=8, height=8)
+        nodes = controller_nodes(noc, 8)
+        assert len(nodes) == 8
+        ys = {noc.coords(n)[1] for n in nodes}
+        assert ys == {0, 7}  # top and bottom rows (Figure 3)
+
+    def test_centred_placement(self):
+        noc = NocConfig(width=8, height=8)
+        nodes = controller_nodes(noc, 8)
+        xs = sorted(noc.coords(n)[0] for n in nodes[:4])
+        assert xs == [2, 3, 4, 5]  # middle of the row
+
+
+class TestController:
+    def test_access_pays_latency(self):
+        sim = Simulator()
+        mc = MemoryController(sim, node=0, latency=100)
+        done = []
+        mc.access(lambda: done.append(sim.cycle))
+        sim.run()
+        assert done == [100]
+
+    def test_window_limits_concurrency(self):
+        sim = Simulator()
+        mc = MemoryController(sim, node=0, latency=100, max_outstanding=2)
+        done = []
+        for _ in range(4):
+            mc.access(lambda: done.append(sim.cycle))
+        sim.run()
+        # two batches of two
+        assert done == [100, 100, 200, 200]
+
+    def test_request_counting(self):
+        sim = Simulator()
+        mc = MemoryController(sim, node=0, latency=10)
+        for _ in range(5):
+            mc.access(lambda: None)
+        sim.run()
+        assert mc.requests == 5
+        assert mc.outstanding == 0
+
+
+class TestSubsystem:
+    def test_nearest_controller_routing(self):
+        sim = Simulator()
+        noc = NocConfig(width=8, height=8)
+        sub = MemorySubsystem(sim, noc, MemoryConfig())
+        # a node on the top row routes to a top-row controller
+        top_mc = sub.nearest_controller(noc.node_at(3, 1))
+        assert noc.coords(top_mc)[1] == 0
+        bottom_mc = sub.nearest_controller(noc.node_at(3, 6))
+        assert noc.coords(bottom_mc)[1] == 7
+
+    def test_access_from_counts(self):
+        sim = Simulator()
+        noc = NocConfig(width=8, height=8)
+        sub = MemorySubsystem(sim, noc, MemoryConfig())
+        done = []
+        sub.access_from(10, lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+        assert sub.total_requests == 1

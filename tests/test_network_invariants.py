@@ -1,0 +1,61 @@
+"""System-level conservation invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.config import NocConfig
+
+
+@st.composite
+def run_params(draw):
+    threads = draw(st.integers(min_value=2, max_value=16))
+    primitive = draw(st.sampled_from(["tas", "ticket", "abql", "mcs", "qsl"]))
+    mechanism = draw(st.sampled_from(["original", "inpg"]))
+    cs = draw(st.integers(min_value=10, max_value=150))
+    par = draw(st.integers(min_value=50, max_value=500))
+    return threads, primitive, mechanism, cs, par
+
+
+class TestConservation:
+    @given(run_params())
+    @settings(max_examples=20, deadline=None)
+    def test_packet_accounting_balances(self, params):
+        threads, primitive, mechanism, cs, par = params
+        cfg = SystemConfig(
+            noc=NocConfig(width=4, height=4), num_threads=16
+        ).with_mechanism(mechanism)
+        wl = single_lock_workload(
+            threads, home_node=5, cs_per_thread=1,
+            cs_cycles=cs, parallel_cycles=par,
+        )
+        system = ManyCoreSystem(cfg, wl, primitive=primitive)
+        result = system.run(max_cycles=20_000_000)
+        # drain any trailing coherence traffic
+        system.sim.run(until=system.sim.cycle + 200_000)
+        net = system.network
+        assert net.in_flight == 0, (
+            net.packets_injected, net.packets_delivered,
+            net.packets_consumed,
+        )
+        assert result.cs_completed == threads
+
+    @given(run_params())
+    @settings(max_examples=12, deadline=None)
+    def test_big_router_tables_drain(self, params):
+        threads, primitive, _, cs, par = params
+        cfg = SystemConfig(
+            noc=NocConfig(width=4, height=4), num_threads=16
+        ).with_mechanism("inpg")
+        wl = single_lock_workload(
+            threads, home_node=5, cs_per_thread=1,
+            cs_cycles=cs, parallel_cycles=par,
+        )
+        system = ManyCoreSystem(cfg, wl, primitive=primitive)
+        system.run(max_cycles=20_000_000)
+        system.sim.run(until=system.sim.cycle + 200_000)
+        for router in system.network.routers.values():
+            if router.is_big:
+                assert router.table.ei_in_use == 0
+                assert router.acks_forwarded == router.getx_stopped

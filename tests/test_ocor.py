@@ -1,0 +1,49 @@
+"""Unit tests for OCOR priority mapping and queue-spin-lock interaction."""
+
+import pytest
+
+from repro.config import OcorConfig
+from repro.ocor import spin_priority, wakeup_priority
+
+
+class TestPriorityMapping:
+    def test_nearly_sleeping_gets_highest_priority(self):
+        cfg = OcorConfig()
+        assert spin_priority(0, cfg) == 8
+        assert spin_priority(15, cfg) == 8
+
+    def test_fresh_spinner_gets_lowest_spin_priority(self):
+        cfg = OcorConfig()
+        assert spin_priority(127, cfg) == 1
+        assert spin_priority(112, cfg) == 1
+
+    def test_each_level_spans_16_retries(self):
+        """Table 1: 8 spinning levels, 16 retry times per level."""
+        cfg = OcorConfig()
+        levels = {spin_priority(rtr, cfg) for rtr in range(128)}
+        assert levels == set(range(1, 9))
+        for level in range(1, 9):
+            count = sum(
+                1 for rtr in range(128) if spin_priority(rtr, cfg) == level
+            )
+            assert count == 16
+
+    def test_priority_monotonically_decreases_with_rtr(self):
+        cfg = OcorConfig()
+        priorities = [spin_priority(rtr, cfg) for rtr in range(128)]
+        for a, b in zip(priorities, priorities[1:]):
+            assert a >= b
+
+    def test_wakeup_is_strictly_lowest(self):
+        cfg = OcorConfig()
+        wake = wakeup_priority(cfg)
+        assert wake == 0
+        assert all(spin_priority(r, cfg) > wake for r in range(128))
+
+    def test_rtr_beyond_budget_clamps(self):
+        cfg = OcorConfig()
+        assert spin_priority(10_000, cfg) == 1
+
+    def test_negative_rtr_rejected(self):
+        with pytest.raises(ValueError):
+            spin_priority(-1, OcorConfig())

@@ -1,0 +1,77 @@
+"""Unit tests for the OS sleep/wake model."""
+
+from repro.config import NocConfig, OsConfig, SystemConfig
+from repro.coherence import MemorySystem
+from repro.cpu.os_model import OsModel
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def make_os(wakeup_cycles=50):
+    cfg = SystemConfig(
+        noc=NocConfig(width=2, height=2),
+        os=OsConfig(wakeup_cycles=wakeup_cycles),
+    )
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    return sim, mem, OsModel(sim, cfg.os, mem)
+
+
+class TestSleepWake:
+    def test_release_wakes_oldest_sleeper(self):
+        sim, mem, osm = make_os()
+        lock_addr = mem.addr_for_home(0)
+        mem.values[lock_addr] = 1  # lock held: sleepers stay parked
+        woken = []
+        osm.sleep(0, lock_addr, core=1, on_wake=lambda: woken.append(1))
+        osm.sleep(0, lock_addr, core=2, on_wake=lambda: woken.append(2))
+        sim.run()
+        assert woken == []
+        osm.notify_release(0)
+        sim.run()
+        assert woken == [1]
+        osm.notify_release(0)
+        sim.run()
+        assert woken == [1, 2]
+
+    def test_wakeup_latency_charged(self):
+        sim, mem, osm = make_os(wakeup_cycles=77)
+        lock_addr = mem.addr_for_home(0)
+        mem.values[lock_addr] = 1
+        woke_at = []
+        osm.sleep(0, lock_addr, core=1, on_wake=lambda: woke_at.append(sim.cycle))
+        osm.notify_release(0)
+        sim.run()
+        assert woke_at == [77]
+
+    def test_lost_wakeup_guard_self_wakes(self):
+        """Sleeping on an already-free lock must self-wake (no deadlock)."""
+        sim, mem, osm = make_os()
+        lock_addr = mem.addr_for_home(0)
+        assert mem.read(lock_addr) == 0  # free
+        woken = []
+        osm.sleep(0, lock_addr, core=3, on_wake=lambda: woken.append(3))
+        sim.run()
+        assert woken == [3]
+        assert osm.self_wakeups == 1
+
+    def test_notify_with_no_sleepers_is_noop(self):
+        sim, mem, osm = make_os()
+        osm.notify_release(0)
+        sim.run()
+        assert osm.wakeups == 0
+
+    def test_queues_are_per_lock(self):
+        sim, mem, osm = make_os()
+        a, b = mem.addr_for_home(0), mem.addr_for_home(1)
+        mem.values[a] = 1
+        mem.values[b] = 1
+        woken = []
+        osm.sleep(0, a, core=1, on_wake=lambda: woken.append("a"))
+        osm.sleep(1, b, core=2, on_wake=lambda: woken.append("b"))
+        osm.notify_release(1)
+        sim.run()
+        assert woken == ["b"]
+        assert osm.sleeping_count(0) == 1

@@ -1,0 +1,121 @@
+"""Tests for the program DSL and in-order program core."""
+
+import pytest
+
+from repro.config import NocConfig, SystemConfig
+from repro.coherence import MemorySystem
+from repro.cpu.os_model import OsModel
+from repro.cpu.program import (
+    Program,
+    ProgramCore,
+    acquire,
+    load,
+    release,
+    repeat,
+    rmw,
+    store,
+    think,
+)
+from repro.locks import AddressSpace, make_lock
+from repro.noc import Network
+from repro.sim import Simulator
+
+
+def build_env(num_locks=1):
+    cfg = SystemConfig(noc=NocConfig(width=4, height=4), num_threads=16)
+    sim = Simulator()
+    net = Network(sim, cfg.noc)
+    mem = MemorySystem(sim, cfg, net)
+    net.memsys = mem
+    osm = OsModel(sim, cfg.os, mem)
+    space = AddressSpace(mem)
+    locks = [
+        make_lock("mcs", sim, mem, space, i, 5 + i, cfg, osm)
+        for i in range(num_locks)
+    ]
+    return sim, mem, locks
+
+
+class TestDsl:
+    def test_repeat_unrolls(self):
+        prog = Program([repeat(3, [think(1), think(2)])])
+        assert len(prog) == 6
+
+    def test_nested_lists_flatten(self):
+        prog = Program([think(1), [think(2), [think(3)]]])
+        assert len(prog) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            think(-1)
+        with pytest.raises(ValueError):
+            repeat(-1, [think(1)])
+
+
+class TestExecution:
+    def test_think_timing(self):
+        sim, mem, locks = build_env()
+        core = ProgramCore(sim, 0, Program([think(10), think(5)]), mem)
+        core.start()
+        sim.run()
+        assert core.done
+        assert [t for t, _ in core.retired] == [10, 15]
+
+    def test_load_store_roundtrip(self):
+        sim, mem, locks = build_env()
+        addr = mem.addr_for_home(3)
+        prog = Program([store(addr, 99), load(addr)])
+        core = ProgramCore(sim, 0, prog, mem)
+        core.start()
+        sim.run()
+        assert core.done
+        assert core.last_value == 99
+
+    def test_rmw_returns_old_value(self):
+        sim, mem, locks = build_env()
+        addr = mem.addr_for_home(3)
+        prog = Program([
+            store(addr, 5),
+            rmw(addr, lambda old: (old * 2, old)),
+            load(addr),
+        ])
+        core = ProgramCore(sim, 0, prog, mem)
+        core.start()
+        sim.run()
+        assert core.last_value == 10
+
+    def test_lock_protected_counter(self):
+        """The canonical example: N cores incrementing a shared counter
+        under a lock never lose an update."""
+        sim, mem, locks = build_env()
+        counter = mem.addr_for_home(9)
+        done = []
+        cores = []
+        for c in range(8):
+            prog = Program([
+                repeat(3, [
+                    think(20),
+                    acquire(0),
+                    rmw(counter, lambda old: (old + 1, old)),
+                    release(0),
+                ]),
+            ])
+            core = ProgramCore(sim, c, prog, mem, locks,
+                               on_done=done.append)
+            cores.append(core)
+            core.start()
+        sim.run(until=5_000_000)
+        assert sorted(done) == list(range(8))
+        assert mem.read(counter) == 24
+
+    def test_retirement_order_is_program_order(self):
+        sim, mem, locks = build_env()
+        addr = mem.addr_for_home(3)
+        prog = Program([think(5), load(addr), store(addr, 1), think(1)])
+        core = ProgramCore(sim, 0, prog, mem)
+        core.start()
+        sim.run()
+        ops = [op for _, op in core.retired]
+        assert ops == ["think", "load", "store", "think"]
+        times = [t for t, _ in core.retired]
+        assert times == sorted(times)

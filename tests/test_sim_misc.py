@@ -1,0 +1,45 @@
+"""Unit tests for RNG streams, components, and packet bookkeeping."""
+
+from repro.noc import Packet
+from repro.sim import Component, Simulator, make_rng, stream_seed
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42, "workload/x")
+        b = make_rng(42, "workload/x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_labels_are_independent(self):
+        a = make_rng(42, "workload/x")
+        b = make_rng(42, "workload/y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_seed_is_64_bit(self):
+        s = stream_seed(2**63, "label")
+        assert 0 <= s < 2**64
+
+
+class TestComponent:
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        comp = Component(sim, "c")
+        fired = []
+        sim.schedule(10, lambda: comp.after(5, lambda: fired.append(comp.now)))
+        sim.run()
+        assert fired == [15]
+
+
+class TestPacket:
+    def test_latency_before_delivery_is_negative(self):
+        pkt = Packet(src=0, dst=1, payload=None)
+        assert pkt.latency == -1
+
+    def test_unique_ids(self):
+        a = Packet(src=0, dst=1, payload=None)
+        b = Packet(src=0, dst=1, payload=None)
+        assert a.pid != b.pid
+
+    def test_control_vnet_default(self):
+        pkt = Packet(src=0, dst=1, payload=None, size_flits=1)
+        assert pkt.vnet == 0

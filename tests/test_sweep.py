@@ -1,0 +1,74 @@
+"""Tests for the generic sweep framework."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import NocConfig, SystemConfig
+from repro.experiments.sweep import Sweep, SweepPoint, vary
+
+
+def small_base():
+    return SystemConfig(noc=NocConfig(width=4, height=4), num_threads=16)
+
+
+class TestAxes:
+    def test_vary_requires_values(self):
+        with pytest.raises(ValueError):
+            vary()
+
+    def test_unknown_axis_without_configurator(self):
+        sweep = Sweep(
+            benchmark="vips", axes={"bogus": vary(1, 2)},
+            base_config=small_base(), scale=0.3,
+        )
+        with pytest.raises(ValueError):
+            sweep.run()
+
+    def test_cartesian_points(self):
+        sweep = Sweep(
+            benchmark="vips",
+            axes={"mechanism": vary("original", "inpg"),
+                  "x": vary(1, 2, 3, configure=lambda c, v: c)},
+        )
+        assert len(list(sweep.points())) == 6
+
+
+class TestRun:
+    def test_mechanism_axis_with_replication(self):
+        sweep = Sweep(
+            benchmark="vips",
+            primitive="mcs",
+            axes={"mechanism": vary("original", "inpg")},
+            seeds=(1, 2),
+            scale=0.3,
+            base_config=small_base(),
+        )
+        points = sweep.run()
+        assert len(points) == 2
+        for point in points:
+            assert len(point.results) == 2
+            assert point.mean("roi_cycles") > 0
+            assert point.stderr("roi_cycles") >= 0.0
+        mechs = {p.coordinates["mechanism"] for p in points}
+        assert mechs == {"original", "inpg"}
+
+    def test_custom_configurator_applies(self):
+        def set_l2_latency(config, value):
+            return replace(config, cache=replace(config.cache,
+                                                 l2_latency=value))
+
+        sweep = Sweep(
+            benchmark="vips",
+            primitive="mcs",
+            axes={"l2": vary(2, 30, configure=set_l2_latency)},
+            scale=0.3,
+            base_config=small_base(),
+        )
+        points = {p.coordinates["l2"]: p for p in sweep.run()}
+        # a 15x slower L2 must slow the run
+        assert points[30].mean("roi_cycles") > points[2].mean("roi_cycles")
+
+    def test_single_seed_stderr_zero(self):
+        point = SweepPoint(coordinates={})
+        assert point.stderr("roi_cycles") == 0.0

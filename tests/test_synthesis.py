@@ -1,0 +1,67 @@
+"""Unit tests for the Figure 7 synthesis model."""
+
+import pytest
+
+from repro.config import InpgConfig
+from repro.synthesis import (
+    big_router_synthesis,
+    chip_summary,
+    normal_router_synthesis,
+    packet_generator_gates,
+    packet_generator_power_overhead,
+)
+
+
+class TestPublishedConstants:
+    def test_gate_counts(self):
+        assert normal_router_synthesis().gates == 19_900
+        assert big_router_synthesis().gates == 22_400
+        assert packet_generator_gates() == 2_500
+
+    def test_power_split(self):
+        normal = normal_router_synthesis()
+        big = big_router_synthesis()
+        assert normal.dynamic_power_mw == pytest.approx(84.2)
+        assert big.dynamic_power_mw == pytest.approx(92.6)
+        # "adding 9.9% overhead to a normal router"
+        assert packet_generator_power_overhead() == pytest.approx(0.099, abs=5e-3)
+
+    def test_cell_density(self):
+        assert normal_router_synthesis().cell_density == pytest.approx(0.6190)
+        assert big_router_synthesis().cell_density == pytest.approx(0.6667)
+
+    def test_tile_power(self):
+        summary = chip_summary(InpgConfig(enabled=True, num_big_routers=32))
+        assert summary["big_tile_power_mw"] == pytest.approx(716.1)
+        assert summary["normal_tile_power_mw"] == pytest.approx(707.7)
+
+
+class TestScalingModel:
+    def test_generator_scales_with_table_size(self):
+        small = packet_generator_gates(4)
+        default = packet_generator_gates(16)
+        large = packet_generator_gates(64)
+        assert small < default < large
+        assert default == 2_500
+
+    def test_invalid_table_size(self):
+        with pytest.raises(ValueError):
+            packet_generator_gates(0)
+
+    def test_big_router_power_scales(self):
+        assert (
+            big_router_synthesis(64).dynamic_power_mw
+            > big_router_synthesis(16).dynamic_power_mw
+        )
+
+    def test_chip_power_overhead_grows_with_deployment(self):
+        lo = chip_summary(InpgConfig(enabled=True, num_big_routers=4))
+        hi = chip_summary(InpgConfig(enabled=True, num_big_routers=64))
+        assert hi["power_overhead_pct"] > lo["power_overhead_pct"]
+        # full deployment: 8.4mW x 64 over 64 x 707.7mW ~ 1.2%
+        assert hi["power_overhead_pct"] < 2.0
+
+    def test_disabled_inpg_has_zero_overhead(self):
+        summary = chip_summary(InpgConfig(enabled=False))
+        assert summary["num_big_routers"] == 0
+        assert summary["power_overhead_pct"] == pytest.approx(0.0)

@@ -1,0 +1,54 @@
+"""Tests for the worker thread model's phase accounting."""
+
+from repro.config import NocConfig, SystemConfig
+from repro import ManyCoreSystem
+from repro.workloads import WorkItem, Workload
+
+
+def make_workload(items_per_thread, threads=4):
+    return Workload(
+        benchmark="t", num_threads=threads, num_locks=1, lock_homes=[3],
+        items=[list(items_per_thread) for _ in range(threads)],
+    )
+
+
+def run_system(workload, primitive="mcs"):
+    cfg = SystemConfig(noc=NocConfig(width=4, height=4),
+                       num_threads=workload.num_threads)
+    return ManyCoreSystem(cfg, workload, primitive=primitive).run()
+
+
+class TestPhaseAccounting:
+    def test_phases_partition_the_roi(self):
+        wl = make_workload([WorkItem(100, 0, 50), WorkItem(80, 0, 40)])
+        result = run_system(wl)
+        for tm in result.threads:
+            # thread finishes at or before ROI end; phases partition its span
+            assert tm.total_cycles <= result.roi_cycles
+            assert tm.cs_completed == 2
+            # parallel time is at least what the items requested
+            assert tm.parallel_cycles >= 180
+
+    def test_cse_includes_release(self):
+        wl = make_workload([WorkItem(10, 0, 70)], threads=1)
+        result = run_system(wl)
+        tm = result.threads[0]
+        # CSE covers the CS body plus the release transaction
+        assert tm.cse_cycles >= 70
+        assert tm.coh_cycles >= 0
+
+    def test_contention_shows_up_as_coh(self):
+        solo = run_system(make_workload([WorkItem(10, 0, 100)], threads=1))
+        crowd = run_system(make_workload([WorkItem(10, 0, 100)], threads=8))
+        solo_coh = solo.threads[0].coh_cycles
+        mean_crowd_coh = sum(t.coh_cycles for t in crowd.threads) / 8
+        assert mean_crowd_coh > solo_coh
+
+    def test_empty_thread_completes_immediately(self):
+        wl = Workload(
+            benchmark="t", num_threads=2, num_locks=1, lock_homes=[3],
+            items=[[], [WorkItem(10, 0, 10)]],
+        )
+        result = run_system(wl)
+        assert result.threads[0].cs_completed == 0
+        assert result.threads[1].cs_completed == 1

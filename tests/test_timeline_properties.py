@@ -1,0 +1,87 @@
+"""Property tests for timeline window algebra and histograms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import Histogram, Timeline
+from repro.stats.timeline import PHASES
+
+
+@st.composite
+def timeline_and_windows(draw):
+    timeline = Timeline()
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    end_times = {}
+    for thread in range(n_threads):
+        cursor = 0
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            phase = draw(st.sampled_from(PHASES))
+            duration = draw(st.integers(min_value=1, max_value=50))
+            timeline.begin(thread, phase, cursor)
+            cursor += duration
+        timeline.end(thread, cursor)
+        end_times[thread] = cursor
+    horizon = max(end_times.values())
+    a = draw(st.integers(min_value=0, max_value=horizon))
+    b = draw(st.integers(min_value=0, max_value=horizon))
+    return timeline, (min(a, b), max(a, b)), horizon
+
+
+class TestTimelineProperties:
+    @given(timeline_and_windows())
+    @settings(max_examples=150)
+    def test_window_partition_is_additive(self, data):
+        """Splitting a window in two conserves per-phase cycles."""
+        timeline, (lo, hi), _ = data
+        mid = (lo + hi) // 2
+        for phase in PHASES:
+            whole = timeline.phase_cycles(phase, window=(lo, hi))
+            left = timeline.phase_cycles(phase, window=(lo, mid))
+            right = timeline.phase_cycles(phase, window=(mid, hi))
+            assert whole == left + right
+
+    @given(timeline_and_windows())
+    @settings(max_examples=150)
+    def test_window_totals_bounded_by_span(self, data):
+        timeline, (lo, hi), _ = data
+        threads = {iv.thread for iv in timeline.intervals}
+        for thread in threads:
+            total = sum(
+                timeline.phase_cycles(p, window=(lo, hi), threads=[thread])
+                for p in PHASES
+            )
+            assert total <= hi - lo
+
+    @given(timeline_and_windows())
+    @settings(max_examples=100)
+    def test_full_window_equals_unwindowed(self, data):
+        timeline, _, horizon = data
+        for phase in PHASES:
+            assert timeline.phase_cycles(phase) == timeline.phase_cycles(
+                phase, window=(0, horizon)
+            )
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=150)
+    def test_counts_and_mean_conserved(self, samples, width):
+        h = Histogram(bin_width=width)
+        h.extend(samples)
+        assert h.count == len(samples)
+        assert sum(count for _, count in h.bins()) == len(samples)
+        assert abs(h.mean - sum(samples) / len(samples)) < 1e-9
+        assert h.max_sample == max(samples)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_every_sample_falls_in_its_bin(self, samples):
+        h = Histogram(bin_width=7)
+        h.extend(samples)
+        bins = dict(h.bins())
+        for s in samples:
+            start = (s // 7) * 7
+            assert start in bins

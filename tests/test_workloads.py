@@ -1,0 +1,122 @@
+"""Unit tests for benchmark profiles and workload generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ALL_PROFILES,
+    OMP2012_PROFILES,
+    PARSEC_PROFILES,
+    generate_workload,
+    get_profile,
+    group_of,
+    grouped_profiles,
+    single_lock_workload,
+)
+
+
+class TestProfiles:
+    def test_suite_counts_match_paper(self):
+        """10 PARSEC programs (footnote 4) + all 14 SPEC OMP2012."""
+        assert len(PARSEC_PROFILES) == 10
+        assert len(OMP2012_PROFILES) == 14
+        assert len(ALL_PROFILES) == 24
+
+    def test_excluded_parsec_programs(self):
+        names = {p.name for p in PARSEC_PROFILES}
+        assert "blackscholes" not in names
+        assert "swaptions" not in names
+
+    def test_short_names_match_footnote5(self):
+        for full, short in [
+            ("bodytrack", "body"), ("canneal", "can"), ("facesim", "face"),
+            ("fluidanimate", "fluid"), ("freqmine", "freq"),
+            ("streamcluster", "stream"),
+        ]:
+            assert get_profile(full).short_name == short
+            assert get_profile(short).name == full
+
+    def test_fluid_many_short_vs_imag_fewer_longer(self):
+        """Section 5.2.1's contrast between fluid and imag."""
+        fluid, imag = get_profile("fluid"), get_profile("imag")
+        assert fluid.total_cs > imag.total_cs
+        assert fluid.cs_cycles_mean < imag.cs_cycles_mean
+
+    def test_groups_are_6_12_6(self):
+        groups = grouped_profiles()
+        assert len(groups[1]) == 6
+        assert len(groups[2]) == 12
+        assert len(groups[3]) == 6
+
+    def test_groups_ordered_by_cs_time(self):
+        groups = grouped_profiles()
+        max_g1 = max(p.nominal_cs_time for p in groups[1])
+        min_g3 = min(p.nominal_cs_time for p in groups[3])
+        assert max_g1 <= min_g3
+
+    def test_heavy_programs_in_group3(self):
+        for name in ("nab", "kdtree", "facesim", "fluidanimate"):
+            assert group_of(name) == 3, name
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+
+class TestGenerator:
+    def test_workload_dimensions(self):
+        wl = generate_workload("freqmine", num_threads=64, mesh_nodes=64)
+        assert wl.num_threads == 64
+        assert len(wl.items) == 64
+        profile = get_profile("freqmine")
+        assert all(len(seq) == profile.cs_per_thread for seq in wl.items)
+        assert wl.num_locks == profile.num_locks
+        assert len(wl.lock_homes) == wl.num_locks
+
+    def test_determinism_per_seed(self):
+        a = generate_workload("md", 16, 64, seed=7)
+        b = generate_workload("md", 16, 64, seed=7)
+        assert a.items == b.items
+        assert a.lock_homes == b.lock_homes
+
+    def test_different_seeds_differ(self):
+        a = generate_workload("md", 16, 64, seed=7)
+        b = generate_workload("md", 16, 64, seed=8)
+        assert a.items != b.items
+
+    def test_scale_changes_cs_count(self):
+        full = generate_workload("nab", 8, 64, scale=1.0)
+        half = generate_workload("nab", 8, 64, scale=0.5)
+        assert len(half.items[0]) < len(full.items[0])
+        assert len(half.items[0]) >= 1
+
+    def test_lock_home_override(self):
+        wl = generate_workload("nab", 8, 64, lock_homes=[53])
+        assert wl.lock_homes == [53]
+        assert wl.num_locks == 1
+        assert all(item.lock_index == 0 for seq in wl.items for item in seq)
+
+    @given(
+        st.sampled_from([p.name for p in ALL_PROFILES]),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generated_items_are_well_formed(self, name, threads, seed):
+        wl = generate_workload(name, threads, 64, seed=seed)
+        for seq in wl.items:
+            for item in seq:
+                assert item.parallel_cycles >= 1
+                assert item.cs_cycles >= 1
+                assert 0 <= item.lock_index < wl.num_locks
+        for home in wl.lock_homes:
+            assert 0 <= home < 64
+
+
+class TestSingleLockWorkload:
+    def test_microbench_shape(self):
+        wl = single_lock_workload(64, home_node=53, cs_per_thread=3)
+        assert wl.num_locks == 1
+        assert wl.lock_homes == [53]
+        assert wl.total_cs == 192
