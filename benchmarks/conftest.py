@@ -5,11 +5,35 @@ the same rows the paper reports.  By default a representative subset of
 benchmarks (two per Figure 8 group) and a reduced workload scale keep
 the suite fast; set ``REPRO_FULL=1`` to sweep all 24 programs at full
 scale, as the paper does.
+
+All simulations route through the shared :mod:`repro.exec` executor, so
+``REPRO_JOBS=N`` parallelizes each figure's run plan and a warm
+``.repro-cache/`` (or ``REPRO_CACHE_DIR``) answers repeated figure
+regeneration without re-simulating; the run-execution summary prints at
+session teardown.
 """
 
 import os
 
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def exec_summary():
+    """Print executed-vs-cached accounting once the suite finishes."""
+    yield
+    from repro.experiments import common
+
+    executor = common.get_executor()
+    if executor.stats.requested:
+        cache_dir = (
+            str(executor.cache.directory)
+            if executor.cache.directory is not None
+            else None
+        )
+        print()
+        print(executor.stats.render_footer(jobs=executor.jobs,
+                                           cache_dir=cache_dir))
 
 
 def full() -> bool:

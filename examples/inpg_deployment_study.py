@@ -11,23 +11,35 @@ Run:  python examples/inpg_deployment_study.py
 
 from dataclasses import replace
 
-from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro import Executor, RunSpec, SystemConfig
 from repro.config import InpgConfig
 from repro.synthesis import chip_summary
 
 
 def main() -> None:
     base = SystemConfig()
-    workload = single_lock_workload(
-        num_threads=64,
-        home_node=base.noc.node_at(5, 6),
-        cs_per_thread=2,
-        cs_cycles=100,
-        parallel_cycles=300,
-    )
-    baseline = ManyCoreSystem(
-        base.with_mechanism("original"), workload, primitive="qsl"
-    ).run()
+    home = base.noc.node_at(5, 6)
+
+    def spec(cfg) -> RunSpec:
+        return RunSpec.microbench(
+            home_node=home, cs_per_thread=2, cs_cycles=100,
+            parallel_cycles=300, mechanism=None, primitive="qsl",
+            config=cfg,
+        )
+
+    # the whole deployment sweep as one plan: cached across invocations,
+    # parallel across REPRO_JOBS workers
+    executor = Executor()
+    plan = {0: spec(base.with_mechanism("original"))}
+    for count in (4, 16, 32, 64):
+        plan[count] = spec(
+            replace(
+                base,
+                inpg=replace(base.inpg, enabled=True, num_big_routers=count),
+            )
+        )
+    results = executor.run(list(plan.values()))
+    baseline = results[plan[0]]
     print(f"Original ROI: {baseline.roi_cycles:,} cycles\n")
     header = (
         f"{'big routers':>11} {'ROI cycles':>11} {'reduction':>10} "
@@ -36,16 +48,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for count in (0, 4, 16, 32, 64):
-        if count == 0:
-            roi = baseline.roi_cycles
-        else:
-            cfg = replace(
-                base,
-                inpg=replace(
-                    base.inpg, enabled=True, num_big_routers=count
-                ),
-            )
-            roi = ManyCoreSystem(cfg, workload, primitive="qsl").run().roi_cycles
+        roi = results[plan[count]].roi_cycles
         power = chip_summary(
             InpgConfig(enabled=count > 0, num_big_routers=count)
         )

@@ -9,7 +9,7 @@ Figure 2 / Figure 13 orderings are visible from a single script.
 Run:  python examples/lock_comparison.py
 """
 
-from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro import Executor, RunSpec, SystemConfig
 from repro.locks import PRIMITIVES
 
 LABELS = {"tas": "TAS", "ticket": "TTL", "abql": "ABQL",
@@ -19,10 +19,17 @@ LABELS = {"tas": "TAS", "ticket": "TTL", "abql": "ABQL",
 def main() -> None:
     base = SystemConfig()
     home = base.noc.node_at(5, 6)
-    workload = single_lock_workload(
-        num_threads=64, home_node=home,
-        cs_per_thread=2, cs_cycles=100, parallel_cycles=300,
-    )
+    executor = Executor()
+    specs = {
+        (primitive, mech): RunSpec.microbench(
+            home_node=home, cs_per_thread=2, cs_cycles=100,
+            parallel_cycles=300, mechanism=mech, primitive=primitive,
+            config=base,
+        )
+        for primitive in PRIMITIVES
+        for mech in ("original", "inpg")
+    }
+    results = executor.run(list(specs.values()))
     print("64 threads competing for one lock homed at core (5,6):\n")
     header = (
         f"{'primitive':<10} {'ROI (orig)':>11} {'ROI (iNPG)':>11} "
@@ -31,12 +38,8 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for primitive in PRIMITIVES:
-        orig = ManyCoreSystem(
-            base.with_mechanism("original"), workload, primitive=primitive
-        ).run()
-        inpg = ManyCoreSystem(
-            base.with_mechanism("inpg"), workload, primitive=primitive
-        ).run()
+        orig = results[specs[(primitive, "original")]]
+        inpg = results[specs[(primitive, "inpg")]]
         reduction = 1.0 - inpg.roi_cycles / orig.roi_cycles
         print(
             f"{LABELS[primitive]:<10} {orig.roi_cycles:>11,} "

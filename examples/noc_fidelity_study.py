@@ -10,7 +10,7 @@ run, quantifying what the packet model's simplifications cost.
 Run:  python examples/noc_fidelity_study.py
 """
 
-from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro import Executor, RunSpec, SystemConfig
 from repro.config import NocConfig
 from repro.noc import Network, latency_load_curve
 from repro.noc.flitsim import FlitNetwork
@@ -49,14 +49,21 @@ def load_curve() -> None:
 
 def full_system() -> None:
     print("\nFull-system cross-check (16 cores, MCS lock, contended):")
-    wl = single_lock_workload(16, home_node=5, cs_per_thread=2,
-                              cs_cycles=60, parallel_cycles=200)
-    for flit_level in (False, True):
-        cfg = SystemConfig(
-            noc=NocConfig(width=4, height=4, flit_level=flit_level),
-            num_threads=16,
+    executor = Executor()
+    specs = {
+        flit_level: RunSpec.microbench(
+            home_node=5, cs_per_thread=2, cs_cycles=60, parallel_cycles=200,
+            mechanism="original", primitive="mcs",
+            config=SystemConfig(
+                noc=NocConfig(width=4, height=4, flit_level=flit_level),
+                num_threads=16,
+            ),
         )
-        result = ManyCoreSystem(cfg, wl, primitive="mcs").run()
+        for flit_level in (False, True)
+    }
+    results = executor.run(list(specs.values()))
+    for flit_level in (False, True):
+        result = results[specs[flit_level]]
         label = "flit-level " if flit_level else "packet-level"
         print(f"  {label}: ROI {result.roi_cycles:,} cycles, "
               f"mean msg latency {result.network_mean_latency:.1f}")

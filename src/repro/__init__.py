@@ -9,12 +9,15 @@ Public API
 * :class:`ManyCoreSystem` / :func:`run_benchmark` — build and run one
   simulated ROI, returning a :class:`RunResult`.
 * :func:`generate_workload` — synthetic PARSEC / SPEC OMP2012 workloads.
+* :class:`RunSpec` / :class:`Executor` — declarative run plans with
+  persistent caching and process-parallel execution (``repro.exec``).
 * ``repro.locks`` — TAS, ticket, ABQL, MCS and queue spin-lock primitives.
 * ``repro.inpg`` — big routers and the locking barrier table.
 * ``repro.experiments`` — one module per paper table/figure.
 """
 
 from .config import MECHANISMS, SystemConfig
+from .exec import Executor, RunSpec
 from .stats.metrics import RunResult, ThreadMetrics
 from .system import DeadlockError, ManyCoreSystem, run_benchmark
 from .workloads.generator import (
@@ -27,9 +30,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DeadlockError",
+    "Executor",
     "MECHANISMS",
     "ManyCoreSystem",
     "RunResult",
+    "RunSpec",
     "SystemConfig",
     "ThreadMetrics",
     "Workload",

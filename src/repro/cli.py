@@ -14,11 +14,12 @@ import argparse
 import json
 import sys
 
+from dataclasses import replace
+
 from .config import MECHANISMS, SystemConfig
+from .exec import Executor, RunSpec
 from .locks.factory import PRIMITIVES, canonical_primitive
 from .stats.export import render_gantt, run_result_to_dict
-from .system import ManyCoreSystem, run_benchmark
-from .workloads.generator import single_lock_workload
 from .workloads.profiles import ALL_PROFILES
 
 
@@ -43,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="microbench: competing threads")
     parser.add_argument("--home", type=int, default=53,
                         help="microbench: lock home node")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default "
+                             "REPRO_CACHE_DIR or .repro-cache/)")
     parser.add_argument("--json", action="store_true",
                         help="emit the full result as JSON")
     parser.add_argument("--gantt", action="store_true",
@@ -61,20 +67,26 @@ def main(argv=None) -> int:
         return 0
     args = parser.parse_args(argv)
     primitive = canonical_primitive(args.primitive)
+    executor = Executor(
+        jobs=1, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
     if args.benchmark == "microbench":
-        cfg = SystemConfig().with_mechanism(args.mechanism)
-        workload = single_lock_workload(
-            num_threads=args.threads, home_node=args.home,
+        spec = RunSpec.microbench(
+            home_node=args.home,
+            mechanism=args.mechanism,
+            primitive=primitive,
+            seed=args.seed,
+            config=replace(SystemConfig(), num_threads=args.threads),
         )
-        result = ManyCoreSystem(cfg, workload, primitive=primitive).run()
     else:
-        result = run_benchmark(
-            args.benchmark,
+        spec = RunSpec(
+            benchmark=args.benchmark,
             mechanism=args.mechanism,
             primitive=primitive,
             scale=args.scale,
             seed=args.seed,
         )
+    result = executor.run_one(spec)
     if args.json:
         print(json.dumps(run_result_to_dict(result), indent=2))
     else:

@@ -1,0 +1,43 @@
+"""Declarative run orchestration: specs, caching, parallel execution.
+
+The experiment harnesses describe *what* to simulate as a plan of
+:class:`RunSpec` values; an :class:`Executor` decides *how* — deduping
+identical runs, answering from the in-memory table or the persistent
+:class:`ResultCache`, and fanning the rest out over worker processes.
+
+Environment knobs: ``REPRO_JOBS`` (worker count, 0 = one per CPU) and
+``REPRO_CACHE_DIR`` (cache location, default ``.repro-cache/``).
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    NullCache,
+    ResultCache,
+    default_cache_dir,
+)
+from .executor import (
+    ExecStats,
+    Executor,
+    JOBS_ENV,
+    RunRecord,
+    default_jobs,
+    execute_spec,
+)
+from .spec import MICROBENCH, RunSpec
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ExecStats",
+    "Executor",
+    "JOBS_ENV",
+    "MICROBENCH",
+    "NullCache",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_spec",
+]

@@ -1,0 +1,281 @@
+"""Executor: fan a run plan out over processes, behind persistent caching.
+
+The execution pipeline for a plan (a sequence of :class:`RunSpec`):
+
+1. dedup specs by fingerprint (Figures 11/12 submit the same 24x4
+   matrix — each distinct run simulates once);
+2. satisfy what it can from the in-memory result table, then from the
+   on-disk :class:`~repro.exec.cache.ResultCache`;
+3. execute the remainder — in-process when ``jobs == 1`` (today's
+   debuggable path), else on a ``ProcessPoolExecutor`` of ``jobs``
+   workers, each re-running the simulation from its spec and shipping
+   the result back through the versioned serialization layer;
+4. write every fresh result through to the disk cache and record
+   per-run observability (wall time, simulated cycles, events/sec).
+
+``jobs`` defaults to the ``REPRO_JOBS`` environment variable, else 1;
+``jobs=0`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..stats.metrics import RunResult
+from ..stats.serialize import (
+    RESULT_SCHEMA_VERSION,
+    deserialize_run_result,
+    serialize_run_result,
+)
+from .cache import NullCache, ResultCache
+from .spec import RunSpec
+
+#: environment override for the default worker count
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (0 = one per CPU), default 1."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return resolve_jobs(jobs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return default_jobs()
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Spec execution (shared by the in-process path and pool workers)
+# ----------------------------------------------------------------------
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one simulation exactly as its spec describes it."""
+    from ..system import ManyCoreSystem, run_benchmark
+
+    cfg = spec.resolved_config()
+    if spec.is_microbench:
+        from ..workloads.generator import single_lock_workload
+
+        home = spec.lock_homes[0] if spec.lock_homes else 53
+        workload = single_lock_workload(
+            num_threads=cfg.num_threads,
+            home_node=home,
+            **spec.microbench_params(),
+        )
+        system = ManyCoreSystem(cfg, workload, primitive=spec.primitive)
+        return system.run(max_cycles=spec.max_cycles)
+    return run_benchmark(
+        spec.benchmark,
+        mechanism=None,  # already resolved into cfg
+        primitive=spec.primitive,
+        config=cfg,
+        seed=spec.seed,
+        scale=spec.scale,
+        lock_homes=spec.lock_homes,
+        max_cycles=spec.max_cycles,
+    )
+
+
+def _pool_worker(spec: RunSpec) -> Tuple[str, Dict, float]:
+    """Subprocess entry point: run, serialize, report wall time."""
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    wall = time.perf_counter() - start
+    return spec.fingerprint, serialize_run_result(result), wall
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """Provenance of one executed (not cached) simulation."""
+
+    fingerprint: str
+    label: str
+    wall_time: float
+    sim_cycles: int
+    sim_events: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.sim_events / self.wall_time if self.wall_time > 0 else 0.0
+
+
+@dataclass
+class ExecStats:
+    """Counters the ``inpg-experiments`` footer reports."""
+
+    executed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    wall_time: float = 0.0
+    sim_cycles: int = 0
+    sim_events: int = 0
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def requested(self) -> int:
+        return self.executed + self.memory_hits + self.disk_hits
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requested if self.requested else 0.0
+
+    def record_run(self, record: RunRecord) -> None:
+        self.executed += 1
+        self.wall_time += record.wall_time
+        self.sim_cycles += record.sim_cycles
+        self.sim_events += record.sim_events
+        self.records.append(record)
+
+    def render_footer(
+        self, jobs: int = 1, cache_dir: Optional[str] = None
+    ) -> str:
+        """The summary block printed after an experiments invocation."""
+        lines = ["--- run execution summary ---"]
+        lines.append(
+            f"runs: {self.requested} requested | executed: {self.executed} | "
+            f"cache hits: {self.cache_hits} "
+            f"({self.disk_hits} disk, {self.memory_hits} memory) | "
+            f"hit rate: {100.0 * self.hit_rate:.1f}%"
+        )
+        rate = self.sim_events / self.wall_time if self.wall_time else 0.0
+        lines.append(
+            f"jobs: {jobs} | sim wall: {self.wall_time:.1f}s | "
+            f"{self.sim_cycles:,} cycles, {self.sim_events:,} events "
+            f"({rate / 1e6:.2f} Mev/s)"
+        )
+        where = cache_dir if cache_dir else "disabled"
+        lines.append(f"cache: {where} (schema v{RESULT_SCHEMA_VERSION})")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class Executor:
+    """Runs :class:`RunSpec` plans with caching and optional parallelism."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[Union[ResultCache, NullCache]] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        if cache is not None:
+            self.cache = cache
+        elif use_cache:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = NullCache()
+        self.stats = ExecStats()
+        self._memory: Dict[str, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, plan: Sequence[RunSpec]) -> Dict[RunSpec, RunResult]:
+        """Execute a plan; returns spec -> result for every input spec."""
+        specs = list(plan)
+        fingerprints = [spec.fingerprint for spec in specs]
+        todo: Dict[str, RunSpec] = {}  # deduped fingerprint -> one spec
+        for spec, fp in zip(specs, fingerprints):
+            if fp in self._memory or fp in todo:
+                self.stats.memory_hits += 1  # cached or deduped in-plan
+            else:
+                todo[fp] = spec
+
+        missing = self._load_from_disk(todo)
+        if missing:
+            if self.jobs > 1 and len(missing) > 1:
+                self._run_pool(missing)
+            else:
+                self._run_inline(missing)
+        return {
+            spec: self._memory[fp] for spec, fp in zip(specs, fingerprints)
+        }
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec])[spec]
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory result table (the disk cache survives)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def _load_from_disk(self, todo: Dict[str, RunSpec]) -> Dict[str, RunSpec]:
+        missing: Dict[str, RunSpec] = {}
+        for fp, spec in todo.items():
+            payload = self.cache.get(fp)
+            if payload is not None:
+                try:
+                    self._memory[fp] = deserialize_run_result(payload)
+                    self.stats.disk_hits += 1
+                    continue
+                except (KeyError, ValueError, TypeError):
+                    pass  # corrupt/stale entry: fall through and re-run
+            missing[fp] = spec
+        return missing
+
+    def _store(self, spec: RunSpec, fp: str, result: RunResult,
+               wall: float) -> None:
+        self._memory[fp] = result
+        self.stats.record_run(
+            RunRecord(
+                fingerprint=fp,
+                label=spec.label(),
+                wall_time=wall,
+                sim_cycles=result.roi_cycles,
+                sim_events=int(result.extra.get("sim_events", 0)),
+            )
+        )
+        self.cache.put(
+            fp,
+            spec.canonical_payload(),
+            serialize_run_result(result),
+            meta={"wall_time": wall},
+        )
+
+    def _run_inline(self, missing: Dict[str, RunSpec]) -> None:
+        for fp, spec in missing.items():
+            start = time.perf_counter()
+            result = execute_spec(spec)
+            self._store(spec, fp, result, time.perf_counter() - start)
+
+    def _run_pool(self, missing: Dict[str, RunSpec]) -> None:
+        workers = min(self.jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_worker, spec): (fp, spec)
+                for fp, spec in missing.items()
+            }
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
+            for future in done:
+                fp, spec = futures[future]
+                error = future.exception()
+                if error is not None:
+                    raise RuntimeError(
+                        f"worker failed for {spec.label()}: {error}"
+                    ) from error
+                _, payload, wall = future.result()
+                self._store(spec, fp, deserialize_run_result(payload), wall)

@@ -1,0 +1,149 @@
+"""RunSpec: a frozen, canonically-fingerprinted description of one run.
+
+A :class:`RunSpec` captures *everything* that determines a simulation's
+outcome — benchmark, primitive, scale, seed, lock placement, cycle
+budget and the full resolved :class:`~repro.config.SystemConfig` — per
+the deterministic kernel contract (:mod:`repro.sim.kernel`): a run is a
+pure function of its spec.  The SHA-256 fingerprint over the canonical
+JSON encoding of those fields is therefore a content address for the
+result, used by both the in-memory and the on-disk caches.
+
+Two specs that resolve to the same effective parameters share one
+fingerprint even if they were phrased differently (e.g. ``config=None``
+vs an explicit default config, or ``mechanism="inpg"`` vs a config with
+the iNPG flags pre-baked), which is what lets Figures 11/12/13 reuse one
+run matrix across invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from ..config import SystemConfig
+
+#: bump when the canonical payload below changes shape
+SPEC_SCHEMA_VERSION = 1
+
+#: sentinel benchmark name for the single-lock all-compete scenario
+#: (paper Figure 10); ``lock_homes[0]`` is the lock's home node.
+MICROBENCH = "microbench"
+
+#: Figure 10's lock home — core (5, 6) on the 8x8 mesh.
+DEFAULT_MICROBENCH_HOME = 53
+
+#: ``single_lock_workload`` defaults, resolved into the fingerprint so a
+#: spec that spells them out and one that relies on defaults coincide.
+_MICROBENCH_DEFAULTS = {
+    "cs_per_thread": 4,
+    "cs_cycles": 100,
+    "parallel_cycles": 200,
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one simulation.
+
+    ``mechanism=None`` means "use ``config`` exactly as passed" (for
+    callers that baked iNPG/OCOR flags in); otherwise the mechanism is
+    applied on top of ``config`` (or the Table 1 defaults).
+
+    ``benchmark=MICROBENCH`` selects the deterministic single-lock
+    workload; ``cs_per_thread`` / ``cs_cycles`` / ``parallel_cycles``
+    parameterize it (``None`` picks the generator defaults) and
+    ``lock_homes`` pins its home node.
+    """
+
+    benchmark: str
+    mechanism: Optional[str] = "original"
+    primitive: str = "qsl"
+    scale: float = 1.0
+    seed: int = 2018
+    lock_homes: Tuple[int, ...] = ()
+    config: Optional[SystemConfig] = None
+    max_cycles: int = 50_000_000
+    cs_per_thread: Optional[int] = None
+    cs_cycles: Optional[int] = None
+    parallel_cycles: Optional[int] = None
+
+    def __post_init__(self):
+        # normalize so equal specs hash equally regardless of the
+        # sequence type the caller used for lock placement
+        object.__setattr__(self, "lock_homes", tuple(self.lock_homes))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def microbench(
+        cls,
+        home_node: int = DEFAULT_MICROBENCH_HOME,
+        cs_per_thread: int = 4,
+        cs_cycles: int = 100,
+        parallel_cycles: int = 200,
+        **kwargs,
+    ) -> "RunSpec":
+        """The Figure 10 single-lock scenario as a spec."""
+        return cls(
+            benchmark=MICROBENCH,
+            lock_homes=(home_node,),
+            cs_per_thread=cs_per_thread,
+            cs_cycles=cs_cycles,
+            parallel_cycles=parallel_cycles,
+            **kwargs,
+        )
+
+    @property
+    def is_microbench(self) -> bool:
+        return self.benchmark == MICROBENCH
+
+    def resolved_config(self) -> SystemConfig:
+        """The effective config: base (or defaults) + mechanism case."""
+        base = self.config or SystemConfig()
+        if self.mechanism is None:
+            return base
+        return base.with_mechanism(self.mechanism)
+
+    def microbench_params(self) -> Dict[str, int]:
+        """Workload-generator kwargs with defaults resolved."""
+        return {
+            name: getattr(self, name) if getattr(self, name) is not None
+            else default
+            for name, default in _MICROBENCH_DEFAULTS.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def canonical_payload(self) -> Dict:
+        """Everything that determines the result, mechanism resolved."""
+        payload = {
+            "schema": SPEC_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "primitive": self.primitive,
+            "scale": float(self.scale),
+            "seed": self.seed,
+            "lock_homes": list(self.lock_homes),
+            "max_cycles": self.max_cycles,
+            "config": asdict(self.resolved_config()),
+        }
+        if self.is_microbench:
+            payload["workload"] = self.microbench_params()
+        return payload
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 content address over the canonical payload."""
+        blob = json.dumps(
+            self.canonical_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and errors."""
+        mech = self.mechanism if self.mechanism is not None else "custom-cfg"
+        return (
+            f"{self.benchmark}[{mech}/{self.primitive}"
+            f" scale={self.scale} seed={self.seed}]"
+        )

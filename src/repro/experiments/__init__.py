@@ -31,13 +31,26 @@ from . import (
     fig15_sensitivity,
     table1_config,
 )
-from .common import benchmarks_for, cached_run, clear_cache, format_table
+from .common import (
+    benchmarks_for,
+    cached_run,
+    clear_cache,
+    execute,
+    format_table,
+    get_executor,
+    run_mechanism_matrix,
+    set_executor,
+)
 from .sweep import Sweep, SweepPoint, vary
 
 __all__ = [
     "ablation_lco",
     "benchmarks_for",
     "cached_run",
+    "execute",
+    "get_executor",
+    "run_mechanism_matrix",
+    "set_executor",
     "clear_cache",
     "fig02_lco",
     "fig07_synthesis",

@@ -13,9 +13,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
 from ..config import CacheConfig, LockSpinConfig, SystemConfig
-from ..system import ManyCoreSystem
-from ..workloads.generator import single_lock_workload
-from .common import format_table
+from ..exec import RunSpec
+from .common import execute, format_table
 
 #: (label, raw_spin, directory_nacks)
 VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
@@ -54,25 +53,29 @@ class AblationResult:
         )
 
 
-def _run(raw_spin: bool, nacks: bool, mechanism: str):
+def _spec(raw_spin: bool, nacks: bool, mechanism: str) -> RunSpec:
     cfg = SystemConfig(
         spin=LockSpinConfig(raw_spin=raw_spin),
         cache=CacheConfig(directory_nacks=nacks),
-    ).with_mechanism(mechanism)
-    workload = single_lock_workload(
-        num_threads=cfg.num_threads, home_node=53,
-        cs_per_thread=2, cs_cycles=100, parallel_cycles=300,
     )
-    return ManyCoreSystem(cfg, workload, primitive="tas").run(
-        max_cycles=60_000_000
+    return RunSpec.microbench(
+        home_node=53, cs_per_thread=2, cs_cycles=100, parallel_cycles=300,
+        mechanism=mechanism, primitive="tas", config=cfg,
+        max_cycles=60_000_000,
     )
 
 
 def run() -> AblationResult:
     result = AblationResult()
+    specs = {
+        (label, mech): _spec(raw_spin, nacks, mech)
+        for label, raw_spin, nacks in VARIANTS
+        for mech in ("original", "inpg")
+    }
+    results = execute(list(specs.values()))
     for label, raw_spin, nacks in VARIANTS:
-        base = _run(raw_spin, nacks, "original")
-        inpg = _run(raw_spin, nacks, "inpg")
+        base = results[specs[(label, "original")]]
+        inpg = results[specs[(label, "inpg")]]
         result.rows.append(
             AblationRow(
                 label=label,

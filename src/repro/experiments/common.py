@@ -2,8 +2,16 @@
 
 Every experiment module exposes ``run(...) -> <FigureResult>`` returning a
 structured result, plus ``main()`` that prints the same rows/series the
-paper's figure reports.  Results cache within a process so figures that
-share runs (11 and 12 use the same 24x4 matrix) don't recompute them.
+paper's figure reports.
+
+Simulations are never run directly: each harness builds a plan of
+:class:`~repro.exec.RunSpec` values and submits it through a shared
+:class:`~repro.exec.Executor` (see :func:`execute`), which dedups
+identical runs, caches results in memory and on disk (``.repro-cache/``
+/ ``REPRO_CACHE_DIR``), and fans fresh work out over ``REPRO_JOBS``
+worker processes.  Figures that share runs (11 and 12 use the same 24x4
+matrix) therefore hit the cache instead of recomputing, within *and*
+across invocations.
 
 Scaling: the ``scale`` knob multiplies per-thread CS counts; ``quick``
 restricts benchmark sweeps to a representative subset (two programs per
@@ -19,12 +27,33 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import MECHANISMS, SystemConfig
+from ..exec import Executor, RunSpec
 from ..stats.metrics import RunResult
-from ..system import run_benchmark
 from ..workloads.profiles import ALL_PROFILES, group_of, grouped_profiles
 
-#: cache of completed runs, keyed by everything that identifies one
-_RUN_CACHE: Dict[Tuple, RunResult] = {}
+#: process-wide executor all harnesses share (lazily constructed so the
+#: environment knobs are read at first use, not import)
+_EXECUTOR: Optional[Executor] = None
+
+
+def get_executor() -> Executor:
+    """The shared executor (created on first use from the environment)."""
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        _EXECUTOR = Executor()
+    return _EXECUTOR
+
+
+def set_executor(executor: Executor) -> Executor:
+    """Install a configured executor (CLI flags, tests)."""
+    global _EXECUTOR
+    _EXECUTOR = executor
+    return executor
+
+
+def execute(plan: Sequence[RunSpec]) -> Dict[RunSpec, RunResult]:
+    """Run a plan through the shared executor."""
+    return get_executor().run(plan)
 
 
 def full_sweep_enabled() -> bool:
@@ -51,23 +80,29 @@ def cached_run(
     scale: float = 1.0,
     seed: int = 2018,
     config: Optional[SystemConfig] = None,
+    lock_homes: Sequence[int] = (),
 ) -> RunResult:
-    """Run (or reuse) one simulation."""
-    key = (benchmark, mechanism, primitive, scale, seed, config)
-    if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = run_benchmark(
-            benchmark,
+    """Run (or reuse) one simulation.
+
+    Thin convenience over a one-spec plan; sweeps should build the whole
+    plan and call :func:`execute` once so independent runs parallelize.
+    """
+    return get_executor().run_one(
+        RunSpec(
+            benchmark=benchmark,
             mechanism=mechanism,
             primitive=primitive,
-            config=config,
-            seed=seed,
             scale=scale,
+            seed=seed,
+            config=config,
+            lock_homes=tuple(lock_homes),
         )
-    return _RUN_CACHE[key]
+    )
 
 
 def clear_cache() -> None:
-    _RUN_CACHE.clear()
+    """Drop the in-memory result table (the disk cache survives)."""
+    get_executor().clear_memory()
 
 
 def run_mechanism_matrix(
@@ -78,13 +113,19 @@ def run_mechanism_matrix(
     config: Optional[SystemConfig] = None,
 ) -> Dict[Tuple[str, str], RunResult]:
     """The paper's four-case comparison over a benchmark list."""
-    out = {}
-    for bench in benchmarks:
-        for mech in mechanisms:
-            out[(bench, mech)] = cached_run(
-                bench, mech, primitive=primitive, scale=scale, config=config
-            )
-    return out
+    specs = {
+        (bench, mech): RunSpec(
+            benchmark=bench,
+            mechanism=mech,
+            primitive=primitive,
+            scale=scale,
+            config=config,
+        )
+        for bench in benchmarks
+        for mech in mechanisms
+    }
+    results = execute(list(specs.values()))
+    return {key: results[spec] for key, spec in specs.items()}
 
 
 # ----------------------------------------------------------------------

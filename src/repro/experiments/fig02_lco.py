@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..exec import RunSpec
 from ..locks.factory import PRIMITIVES
-from .common import cached_run, format_table
+from .common import execute, format_table
 
 #: paper's motivational benchmark trio
 BENCHMARKS = ("kdtree", "facesim", "fluidanimate")
@@ -67,14 +68,17 @@ class Fig2Result:
 
 
 def run(scale: float = 1.0, benchmarks=BENCHMARKS) -> Fig2Result:
+    specs = {
+        (bench, prim): RunSpec(
+            benchmark=bench, mechanism="original", primitive=prim, scale=scale
+        )
+        for bench in benchmarks
+        for prim in PRIMITIVES
+    }
+    results = execute(list(specs.values()))
     result = Fig2Result()
-    for bench in benchmarks:
-        result.lco[bench] = {}
-        for prim in PRIMITIVES:
-            run_result = cached_run(
-                bench, "original", primitive=prim, scale=scale
-            )
-            result.lco[bench][prim] = run_result.lco_fraction
+    for (bench, prim), spec in specs.items():
+        result.lco.setdefault(bench, {})[prim] = results[spec].lco_fraction
     return result
 
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..exec import RunSpec
 from ..workloads.profiles import get_profile, group_of
-from .common import benchmarks_for, cached_run, format_table
+from .common import benchmarks_for, execute, format_table
 
 
 @dataclass
@@ -65,9 +66,17 @@ class Fig8Result:
 
 def run(scale: float = 1.0, quick: bool = True) -> Fig8Result:
     result = Fig8Result()
-    for bench in benchmarks_for(quick):
+    specs = {
+        bench: RunSpec(
+            benchmark=bench, mechanism="original", primitive="qsl",
+            scale=scale,
+        )
+        for bench in benchmarks_for(quick)
+    }
+    results = execute(list(specs.values()))
+    for bench, spec in specs.items():
         profile = get_profile(bench)
-        r = cached_run(bench, "original", primitive="qsl", scale=scale)
+        r = results[spec]
         result.stats.append(
             BenchCsStats(
                 benchmark=bench,

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..config import MECHANISMS
-from .common import cached_run, format_table
+from ..exec import RunSpec
+from .common import execute, format_table
 
 BENCHMARK = "freqmine"
 WINDOW_CYCLES = 30_000
@@ -81,8 +82,15 @@ def run(
     threads=THREADS_SHOWN,
 ) -> Fig9Result:
     result = Fig9Result(window=(0, window_cycles))
+    specs = {
+        mech: RunSpec(
+            benchmark=BENCHMARK, mechanism=mech, primitive="qsl", scale=scale
+        )
+        for mech in MECHANISMS
+    }
+    results = execute(list(specs.values()))
     for mech in MECHANISMS:
-        r = cached_run(BENCHMARK, mech, primitive="qsl", scale=scale)
+        r = results[specs[mech]]
         window = (0, min(window_cycles, r.roi_cycles))
         breakdown = r.timeline.phase_breakdown(window=window, threads=threads)
         cs_done = r.timeline.cs_completed(window=window, threads=threads)

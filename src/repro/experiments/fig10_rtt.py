@@ -16,10 +16,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..config import SystemConfig
+from ..exec import RunSpec
 from ..stats.histogram import Histogram
-from ..system import ManyCoreSystem
-from ..workloads.generator import single_lock_workload
-from .common import format_table
+from .common import execute, format_table
 
 #: the paper's lock home: core (5,6) on the 8x8 mesh
 HOME_XY = (5, 6)
@@ -96,18 +95,22 @@ def run(cs_per_thread: int = 2, cs_cycles: int = 100,
     # (Lines 1-2), SWAP on observed-free (Lines 3-4) — i.e. TTAS
     base = replace(SystemConfig(), spin=LockSpinConfig(raw_spin=False))
     home_node = base.noc.node_at(*HOME_XY)
-    for mech in ("original", "inpg"):
-        cfg = base.with_mechanism(mech)
-        workload = single_lock_workload(
-            num_threads=cfg.num_threads,
+    specs = {
+        mech: RunSpec.microbench(
             home_node=home_node,
             cs_per_thread=cs_per_thread,
             cs_cycles=cs_cycles,
             parallel_cycles=parallel_cycles,
+            mechanism=mech,
+            primitive="tas",
+            seed=seed,
+            config=base,
         )
-        system = ManyCoreSystem(cfg, workload, primitive="tas")
-        run_result = system.run()
-        stats = run_result.coherence
+        for mech in ("original", "inpg")
+    }
+    results = execute(list(specs.values()))
+    for mech in ("original", "inpg"):
+        stats = results[specs[mech]].coherence
         hist = Histogram(bin_width=5)
         hist.extend(r.rtt for r in stats.inv_records)
         early = sum(1 for r in stats.inv_records if r.early)

@@ -17,8 +17,8 @@ from .common import (
     arithmetic_mean,
     benchmarks_for,
     by_group,
-    cached_run,
     format_table,
+    run_mechanism_matrix,
 )
 
 PAPER_AVERAGES = {"ocor": 1.45, "inpg": 1.98, "inpg+ocor": 2.71}
@@ -83,12 +83,14 @@ class Fig11Result:
 
 def run(scale: float = 1.0, quick: bool = True) -> Fig11Result:
     result = Fig11Result()
-    for bench in benchmarks_for(quick):
-        baseline = cached_run(bench, "original", primitive="qsl", scale=scale)
-        result.expedition[bench] = {}
-        for mech in MECHANISMS:
-            r = cached_run(bench, mech, primitive="qsl", scale=scale)
-            result.expedition[bench][mech] = r.cs_expedition_vs(baseline)
+    benches = benchmarks_for(quick)
+    matrix = run_mechanism_matrix(benches, primitive="qsl", scale=scale)
+    for bench in benches:
+        baseline = matrix[(bench, "original")]
+        result.expedition[bench] = {
+            mech: matrix[(bench, mech)].cs_expedition_vs(baseline)
+            for mech in MECHANISMS
+        }
     return result
 
 

@@ -16,8 +16,8 @@ from .common import (
     arithmetic_mean,
     benchmarks_for,
     by_group,
-    cached_run,
     format_table,
+    run_mechanism_matrix,
 )
 
 PAPER_REDUCTION = {"ocor": 0.123, "inpg": 0.199, "inpg+ocor": 0.247}
@@ -90,14 +90,14 @@ class Fig12Result:
 
 def run(scale: float = 1.0, quick: bool = True) -> Fig12Result:
     result = Fig12Result()
-    for bench in benchmarks_for(quick):
-        baseline = cached_run(bench, "original", primitive="qsl", scale=scale)
-        result.relative_roi[bench] = {}
-        for mech in MECHANISMS:
-            r = cached_run(bench, mech, primitive="qsl", scale=scale)
-            result.relative_roi[bench][mech] = (
-                r.roi_cycles / baseline.roi_cycles
-            )
+    benches = benchmarks_for(quick)
+    matrix = run_mechanism_matrix(benches, primitive="qsl", scale=scale)
+    for bench in benches:
+        baseline = matrix[(bench, "original")]
+        result.relative_roi[bench] = {
+            mech: matrix[(bench, mech)].roi_cycles / baseline.roi_cycles
+            for mech in MECHANISMS
+        }
     return result
 
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..exec import RunSpec
 from ..locks.factory import PRIMITIVES
-from .common import arithmetic_mean, benchmarks_for, cached_run, format_table
+from .common import arithmetic_mean, benchmarks_for, execute, format_table
 
 PAPER_REDUCTION = {
     "tas": 0.528, "ticket": 0.334, "abql": 0.326, "qsl": 0.199, "mcs": 0.165,
@@ -53,11 +54,21 @@ class Fig13Result:
 
 def run(scale: float = 1.0, quick: bool = True) -> Fig13Result:
     result = Fig13Result()
-    for bench in benchmarks_for(quick):
+    benches = benchmarks_for(quick)
+    specs = {
+        (bench, prim, mech): RunSpec(
+            benchmark=bench, mechanism=mech, primitive=prim, scale=scale
+        )
+        for bench in benches
+        for prim in PRIMITIVES
+        for mech in ("original", "inpg")
+    }
+    results = execute(list(specs.values()))
+    for bench in benches:
         result.reduction[bench] = {}
         for prim in PRIMITIVES:
-            base = cached_run(bench, "original", primitive=prim, scale=scale)
-            inpg = cached_run(bench, "inpg", primitive=prim, scale=scale)
+            base = results[specs[(bench, prim, "original")]]
+            inpg = results[specs[(bench, prim, "inpg")]]
             result.reduction[bench][prim] = (
                 1.0 - inpg.roi_cycles / base.roi_cycles
             )

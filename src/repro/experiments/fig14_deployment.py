@@ -12,7 +12,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence
 
 from ..config import SystemConfig
-from .common import arithmetic_mean, benchmarks_for, cached_run, format_table
+from ..exec import RunSpec
+from .common import arithmetic_mean, benchmarks_for, execute, format_table
 
 DEPLOYMENTS = (0, 4, 16, 32, 64)
 
@@ -49,23 +50,36 @@ def run(scale: float = 1.0, quick: bool = True,
         deployments: Sequence[int] = DEPLOYMENTS) -> Fig14Result:
     result = Fig14Result(deployments=deployments)
     base_cfg = SystemConfig()
-    for bench in benchmarks_for(quick):
-        result.expedition[bench] = {}
-        baseline = cached_run(
-            bench, "original", primitive="qsl", scale=scale, config=base_cfg
+    benches = benchmarks_for(quick)
+    specs = {
+        (bench, "baseline"): RunSpec(
+            benchmark=bench, mechanism="original", primitive="qsl",
+            scale=scale, config=base_cfg,
         )
+        for bench in benches
+    }
+    for count in deployments:
+        if count == 0:
+            continue
+        cfg = replace(
+            base_cfg, inpg=replace(
+                base_cfg.inpg, enabled=True, num_big_routers=count
+            )
+        )
+        for bench in benches:
+            specs[(bench, count)] = RunSpec(
+                benchmark=bench, mechanism="inpg", primitive="qsl",
+                scale=scale, config=cfg,
+            )
+    results = execute(list(specs.values()))
+    for bench in benches:
+        baseline = results[specs[(bench, "baseline")]]
+        result.expedition[bench] = {}
         for count in deployments:
             if count == 0:
                 result.expedition[bench][0] = 1.0
                 continue
-            cfg = replace(
-                base_cfg, inpg=replace(
-                    base_cfg.inpg, enabled=True, num_big_routers=count
-                )
-            )
-            r = cached_run(
-                bench, "inpg", primitive="qsl", scale=scale, config=cfg
-            )
+            r = results[specs[(bench, count)]]
             result.expedition[bench][count] = r.cs_expedition_vs(baseline)
     return result
 

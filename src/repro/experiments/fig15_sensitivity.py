@@ -14,7 +14,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence, Tuple
 
 from ..config import NocConfig, SystemConfig
-from .common import arithmetic_mean, benchmarks_for, cached_run, format_table
+from ..exec import RunSpec
+from .common import arithmetic_mean, benchmarks_for, execute, format_table
 
 MESH_DIMS = (2, 4, 8, 16)
 TABLE_SIZES = (4, 16, 64)
@@ -55,19 +56,18 @@ def run(
 ) -> Fig15Result:
     result = Fig15Result(dims=dims, table_sizes=table_sizes)
     benches = benchmarks_for(quick)
+    specs = {}
     for dim in dims:
         num_nodes = dim * dim
         base_cfg = SystemConfig(
             noc=NocConfig(width=dim, height=dim),
             num_threads=num_nodes,
         )
-        baselines = {
-            bench: cached_run(
-                bench, "original", primitive="qsl", scale=scale,
-                config=base_cfg,
+        for bench in benches:
+            specs[(dim, "baseline", bench)] = RunSpec(
+                benchmark=bench, mechanism="original", primitive="qsl",
+                scale=scale, config=base_cfg,
             )
-            for bench in benches
-        }
         for size in table_sizes:
             cfg = replace(
                 base_cfg,
@@ -79,13 +79,20 @@ def run(
                     ei_entries=size,
                 ),
             )
+            for bench in benches:
+                specs[(dim, size, bench)] = RunSpec(
+                    benchmark=bench, mechanism="inpg", primitive="qsl",
+                    scale=scale, config=cfg,
+                )
+    results = execute(list(specs.values()))
+    for dim in dims:
+        for size in table_sizes:
             reductions = []
             for bench in benches:
-                r = cached_run(
-                    bench, "inpg", primitive="qsl", scale=scale, config=cfg
-                )
+                baseline = results[specs[(dim, "baseline", bench)]]
+                r = results[specs[(dim, size, bench)]]
                 reductions.append(
-                    1.0 - r.roi_cycles / baselines[bench].roi_cycles
+                    1.0 - r.roi_cycles / baseline.roi_cycles
                 )
             result.reduction[(dim, size)] = arithmetic_mean(reductions)
     return result

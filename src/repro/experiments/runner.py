@@ -6,7 +6,15 @@ Usage::
     inpg-experiments table1
     inpg-experiments fig10
     inpg-experiments all --quick
-    inpg-experiments fig12 --full     # sweep all 24 programs
+    inpg-experiments fig12 --full --jobs 8   # sweep all 24 programs, parallel
+    inpg-experiments fig11 --no-cache        # force re-simulation
+
+Every simulation goes through the shared :mod:`repro.exec` executor:
+``--jobs`` (or ``REPRO_JOBS``) controls how many worker processes fan
+out over the run plan, and results persist in ``--cache-dir`` (or
+``REPRO_CACHE_DIR``, default ``.repro-cache/``) so a second invocation
+answers from the cache.  A summary footer reports executed vs cached
+runs, simulated cycles and events/sec.
 """
 
 from __future__ import annotations
@@ -15,8 +23,10 @@ import argparse
 import sys
 import time
 
+from ..exec import Executor
 from . import (
     ablation_lco,
+    common,
     fig02_lco,
     fig07_synthesis,
     fig08_cs_chars,
@@ -30,33 +40,35 @@ from . import (
     table1_config,
 )
 
-#: experiment name -> (module, takes quick kwarg)
+#: experiment name -> (module, takes quick kwarg, takes scale kwarg)
 EXPERIMENTS = {
-    "ablation": (ablation_lco, False),
-    "table1": (table1_config, False),
-    "fig2": (fig02_lco, False),
-    "fig7": (fig07_synthesis, False),
-    "fig8": (fig08_cs_chars, True),
-    "fig9": (fig09_timing_profile, False),
-    "fig10": (fig10_rtt, False),
-    "fig11": (fig11_cs_expedition, True),
-    "fig12": (fig12_roi, True),
-    "fig13": (fig13_primitives, True),
-    "fig14": (fig14_deployment, True),
-    "fig15": (fig15_sensitivity, True),
+    "ablation": (ablation_lco, False, False),
+    "table1": (table1_config, False, False),
+    "fig2": (fig02_lco, False, True),
+    "fig7": (fig07_synthesis, False, False),
+    "fig8": (fig08_cs_chars, True, True),
+    "fig9": (fig09_timing_profile, False, True),
+    "fig10": (fig10_rtt, False, False),
+    "fig11": (fig11_cs_expedition, True, True),
+    "fig12": (fig12_roi, True, True),
+    "fig13": (fig13_primitives, True, True),
+    "fig14": (fig14_deployment, True, True),
+    "fig15": (fig15_sensitivity, True, True),
 }
 
 
-def run_one(name: str, quick: bool) -> str:
-    module, takes_quick = EXPERIMENTS[name]
+def run_one(name: str, quick: bool, scale: float = 1.0) -> str:
+    module, takes_quick, takes_scale = EXPERIMENTS[name]
+    kwargs = {}
     if takes_quick:
-        result = module.run(quick=quick)
-    else:
-        result = module.run()
+        kwargs["quick"] = quick
+    if takes_scale:
+        kwargs["scale"] = scale
+    result = module.run(**kwargs)
     return result.render()
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="inpg-experiments",
         description="Regenerate the iNPG paper's tables and figures.",
@@ -66,26 +78,64 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["all", "list"],
         help="which table/figure to regenerate",
     )
-    parser.add_argument(
+    sweep = parser.add_mutually_exclusive_group()
+    sweep.add_argument(
         "--full", action="store_true",
         help="sweep all 24 benchmark programs (slow)",
     )
-    parser.add_argument(
+    sweep.add_argument(
         "--quick", action="store_true",
         help="representative 6-benchmark subset (default)",
     )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for the run plan (0 = one per CPU; "
+             "default REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default REPRO_CACHE_DIR or "
+             ".repro-cache/)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    executor = common.set_executor(
+        Executor(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    )
     quick = not args.full
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
         print(f"=== {name} ===")
-        print(run_one(name, quick))
+        print(run_one(name, quick, scale=args.scale))
         print(f"[{name} took {time.time() - start:.1f}s]\n")
+    cache_dir = (
+        str(executor.cache.directory)
+        if executor.cache.directory is not None
+        else None
+    )
+    print(executor.stats.render_footer(jobs=executor.jobs,
+                                       cache_dir=cache_dir))
     return 0
 
 

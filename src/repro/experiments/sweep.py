@@ -29,8 +29,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
+from ..exec import RunSpec
 from ..stats.metrics import RunResult
-from ..system import run_benchmark
+from .common import execute
 
 #: axis configurator: (config, value) -> config
 Configurator = Callable[[SystemConfig, object], SystemConfig]
@@ -100,22 +101,29 @@ class Sweep:
             yield dict(zip(names, combo))
 
     def run(self) -> List[SweepPoint]:
+        """Build the whole plan first, then execute it as one batch so
+        the executor can cache-dedup and parallelize across the sweep."""
         out: List[SweepPoint] = []
+        plan: List[Tuple[SweepPoint, RunSpec]] = []
         for coords in self.points():
             config = self.base_config or SystemConfig()
             for name, value in coords.items():
                 config = _apply(config, name, value, self.axes[name])
             point = SweepPoint(coordinates=dict(coords))
+            out.append(point)
             for seed in self.seeds:
-                point.results.append(
-                    run_benchmark(
-                        self.benchmark,
+                plan.append((
+                    point,
+                    RunSpec(
+                        benchmark=self.benchmark,
                         mechanism=None,  # already baked into config
                         primitive=self.primitive,
                         config=config,
                         seed=seed,
                         scale=self.scale,
-                    )
-                )
-            out.append(point)
+                    ),
+                ))
+        results = execute([spec for _, spec in plan])
+        for point, spec in plan:
+            point.results.append(results[spec])
         return out

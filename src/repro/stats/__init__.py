@@ -10,11 +10,17 @@ from .export import (
 )
 from .histogram import Histogram
 from .metrics import RunResult, ThreadMetrics
+from .serialize import (
+    RESULT_SCHEMA_VERSION,
+    deserialize_run_result,
+    serialize_run_result,
+)
 from .timeline import PHASES, PhaseInterval, Timeline
 
 __all__ = [
     "CoherenceStats",
     "Histogram",
+    "RESULT_SCHEMA_VERSION",
     "InvRecord",
     "LockTxnRecord",
     "PHASES",
@@ -22,9 +28,11 @@ __all__ = [
     "RunResult",
     "ThreadMetrics",
     "Timeline",
+    "deserialize_run_result",
     "render_gantt",
     "render_mesh_heat_map",
     "run_result_to_dict",
+    "serialize_run_result",
     "to_csv",
     "to_json",
 ]

@@ -1,0 +1,164 @@
+"""Lossless (de)serialization of run results.
+
+:mod:`repro.stats.export` renders *summaries* for humans; this module is
+the machine counterpart: a stable, versioned, JSON-compatible encoding of
+:class:`~repro.stats.metrics.RunResult` and everything it aggregates
+(:class:`ThreadMetrics`, :class:`CoherenceStats`, :class:`Timeline`), so
+results can cross process boundaries (parallel executor workers) and
+survive on disk (the persistent run cache) without losing any field the
+figure harnesses consume.
+
+``RESULT_SCHEMA_VERSION`` is bumped whenever the encoding changes shape;
+consumers (the disk cache) treat entries written under a different
+version as absent rather than attempting to read them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from .coherence_stats import CoherenceStats, InvRecord, LockTxnRecord
+from .metrics import RunResult, ThreadMetrics
+from .timeline import PhaseInterval, Timeline
+
+#: bump when any ``*_to_dict`` layout below changes shape
+RESULT_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# ThreadMetrics
+# ----------------------------------------------------------------------
+def thread_metrics_to_dict(metrics: ThreadMetrics) -> Dict:
+    return {
+        "thread": metrics.thread,
+        "parallel_cycles": metrics.parallel_cycles,
+        "coh_cycles": metrics.coh_cycles,
+        "cse_cycles": metrics.cse_cycles,
+        "cs_completed": metrics.cs_completed,
+        "sleeps": metrics.sleeps,
+    }
+
+
+def thread_metrics_from_dict(payload: Dict) -> ThreadMetrics:
+    return ThreadMetrics(
+        thread=payload["thread"],
+        parallel_cycles=payload["parallel_cycles"],
+        coh_cycles=payload["coh_cycles"],
+        cse_cycles=payload["cse_cycles"],
+        cs_completed=payload["cs_completed"],
+        sleeps=payload["sleeps"],
+    )
+
+
+# ----------------------------------------------------------------------
+# CoherenceStats
+# ----------------------------------------------------------------------
+def coherence_stats_to_dict(stats: CoherenceStats) -> Dict:
+    """Encode every *completed* record; open-transaction scratch state is
+    transient bookkeeping and is always empty once a run has finished."""
+    return {
+        "msg_counts": dict(stats.msg_counts),
+        "inv_records": [
+            [r.target_core, r.created, r.consumed, 1 if r.early else 0]
+            for r in stats.inv_records
+        ],
+        "lock_txns": [
+            [t.addr, t.winner, t.start, t.commit, t.invs_sent,
+             t.early_acks_used]
+            for t in stats.lock_txns
+        ],
+        "early_invs_generated": stats.early_invs_generated,
+        "getx_stopped": stats.getx_stopped,
+        "barrier_table_overflows": stats.barrier_table_overflows,
+        "early_acks_consumed_before_txn": stats.early_acks_consumed_before_txn,
+    }
+
+
+def coherence_stats_from_dict(payload: Dict) -> CoherenceStats:
+    stats = CoherenceStats()
+    stats.msg_counts = Counter(payload["msg_counts"])
+    stats.inv_records = [
+        InvRecord(target_core=r[0], created=r[1], consumed=r[2],
+                  early=bool(r[3]))
+        for r in payload["inv_records"]
+    ]
+    stats.lock_txns = [
+        LockTxnRecord(addr=t[0], winner=t[1], start=t[2], commit=t[3],
+                      invs_sent=t[4], early_acks_used=t[5])
+        for t in payload["lock_txns"]
+    ]
+    stats.early_invs_generated = payload["early_invs_generated"]
+    stats.getx_stopped = payload["getx_stopped"]
+    stats.barrier_table_overflows = payload["barrier_table_overflows"]
+    stats.early_acks_consumed_before_txn = (
+        payload["early_acks_consumed_before_txn"]
+    )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Timeline
+# ----------------------------------------------------------------------
+def timeline_to_dict(timeline: Timeline) -> Dict:
+    return {
+        "intervals": [
+            [iv.thread, iv.phase, iv.start, iv.end]
+            for iv in timeline.intervals
+        ],
+    }
+
+
+def timeline_from_dict(payload: Dict) -> Timeline:
+    timeline = Timeline()
+    timeline.intervals = [
+        PhaseInterval(thread=iv[0], phase=iv[1], start=iv[2], end=iv[3])
+        for iv in payload["intervals"]
+    ]
+    return timeline
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+def serialize_run_result(result: RunResult) -> Dict:
+    """Full-fidelity encoding (contrast ``export.run_result_to_dict``,
+    which flattens to headline numbers)."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "mechanism": result.mechanism,
+        "primitive": result.primitive,
+        "benchmark": result.benchmark,
+        "roi_cycles": result.roi_cycles,
+        "threads": [thread_metrics_to_dict(t) for t in result.threads],
+        "coherence": coherence_stats_to_dict(result.coherence),
+        "timeline": timeline_to_dict(result.timeline),
+        "network_mean_latency": result.network_mean_latency,
+        "network_packets": result.network_packets,
+        "os_sleeps": result.os_sleeps,
+        "os_wakeups": result.os_wakeups,
+        "extra": dict(result.extra),
+    }
+
+
+def deserialize_run_result(payload: Dict) -> RunResult:
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"result payload has schema {schema!r}, "
+            f"expected {RESULT_SCHEMA_VERSION}"
+        )
+    return RunResult(
+        mechanism=payload["mechanism"],
+        primitive=payload["primitive"],
+        benchmark=payload["benchmark"],
+        roi_cycles=payload["roi_cycles"],
+        threads=[thread_metrics_from_dict(t) for t in payload["threads"]],
+        coherence=coherence_stats_from_dict(payload["coherence"]),
+        timeline=timeline_from_dict(payload["timeline"]),
+        network_mean_latency=payload["network_mean_latency"],
+        network_packets=payload["network_packets"],
+        os_sleeps=payload["os_sleeps"],
+        os_wakeups=payload["os_wakeups"],
+        extra=dict(payload["extra"]),
+    )

@@ -145,6 +145,7 @@ class ManyCoreSystem:
         self.timeline.close_all(self._finished_cycle)
         mechanism = self._mechanism_name()
         return RunResult(
+            extra={"sim_events": float(self.sim.events_processed)},
             mechanism=mechanism,
             primitive=self.primitive,
             benchmark=self.workload.benchmark,
@@ -225,6 +226,7 @@ def run_benchmark(
     seed: int = 2018,
     scale: float = 1.0,
     lock_homes=(),
+    max_cycles: int = 50_000_000,
 ) -> RunResult:
     """One-call convenience wrapper: configure, generate, run, measure.
 
@@ -244,4 +246,4 @@ def run_benchmark(
         lock_homes=lock_homes,
     )
     system = ManyCoreSystem(cfg, workload, primitive=primitive)
-    return system.run()
+    return system.run(max_cycles=max_cycles)

@@ -1,0 +1,22 @@
+"""Shared test fixtures.
+
+The run executor persists results to ``.repro-cache/`` by default; the
+suite points it at a per-session temporary directory instead, so tests
+never read stale results from (or leak files into) the working tree,
+while still exercising the real disk-cache path.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_result_cache(tmp_path_factory):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

@@ -127,3 +127,71 @@ class TestRunnerCli:
     def test_single_static_experiment(self, capsys):
         assert runner_main(["table1"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+    def test_quick_and_full_conflict_errors(self, capsys):
+        # --quick used to be silently ignored; now the pair is mutually
+        # exclusive and conflicting invocations error out loudly
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["fig12", "--quick", "--full"])
+        assert excinfo.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_quick_flag_is_accepted(self, capsys):
+        assert runner_main(["table1", "--quick"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_footer_reports_execution_summary(self, capsys, tmp_path):
+        assert runner_main([
+            "fig9", "--scale", "0.3", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run execution summary" in out
+        assert "executed: 4" in out
+        assert str(tmp_path) in out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        assert runner_main([
+            "fig9", "--scale", "0.3", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+
+
+def _figure_section(output: str) -> str:
+    """Everything up to the timing line (drops wall time + footer)."""
+    lines = []
+    for line in output.splitlines():
+        if line.startswith("["):
+            break
+        lines.append(line)
+    return "\n".join(lines)
+
+
+class TestParallelAndCachedRegeneration:
+    """The PR's acceptance criterion on fig12."""
+
+    def test_jobs_parity_and_warm_cache(self, capsys, tmp_path):
+        scale = ["--scale", "0.25"]
+        # cold, sequential
+        assert runner_main(
+            ["fig12", "--jobs", "1", "--cache-dir", str(tmp_path / "a")]
+            + scale
+        ) == 0
+        seq = capsys.readouterr().out
+        # cold, parallel, separate cache: must render byte-identically
+        assert runner_main(
+            ["fig12", "--jobs", "2", "--cache-dir", str(tmp_path / "b")]
+            + scale
+        ) == 0
+        par = capsys.readouterr().out
+        assert _figure_section(seq) == _figure_section(par)
+        assert "executed: 24" in par
+        # warm cache: zero simulations executed, 100% hits
+        assert runner_main(
+            ["fig12", "--jobs", "2", "--cache-dir", str(tmp_path / "b")]
+            + scale
+        ) == 0
+        warm = capsys.readouterr().out
+        assert _figure_section(warm) == _figure_section(par)
+        assert "executed: 0" in warm
+        assert "hit rate: 100.0%" in warm
