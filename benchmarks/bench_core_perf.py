@@ -1,0 +1,54 @@
+"""Benchmark: simulation-core throughput on the canonical perf workloads.
+
+Times the pinned workloads from :mod:`repro.perf.workloads` under
+pytest-benchmark — the same work that ``scripts/perf_report.py`` measures
+into ``BENCH_core.json``.  Each workload asserts its pinned event count
+so a timing comparison is only ever made over identical simulated work.
+
+The end-to-end ``fig12_quick`` workload (24 cold full-system runs, tens
+of seconds) only runs with ``REPRO_FULL=1``.
+"""
+
+import os
+
+import pytest
+
+from conftest import run_once
+
+from repro.perf.workloads import WORKLOADS
+
+#: workload -> events it must simulate (from BENCH_core.json; a change
+#: means the workload itself drifted and timings are incomparable)
+PINNED_EVENTS = {
+    "kernel_chain": 400_063,
+    "packet_uniform": 541_377,
+    "flit_uniform": 63_963,
+}
+
+
+def test_kernel_chain_throughput(benchmark):
+    result = run_once(benchmark, WORKLOADS["kernel_chain"])
+    print(f"\nkernel_chain: {result.events_per_sec:,.0f} events/sec")
+    assert result.events == PINNED_EVENTS["kernel_chain"]
+
+
+def test_packet_uniform_throughput(benchmark):
+    result = run_once(benchmark, WORKLOADS["packet_uniform"])
+    print(f"\npacket_uniform: {result.events_per_sec:,.0f} events/sec")
+    assert result.events == PINNED_EVENTS["packet_uniform"]
+
+
+def test_flit_uniform_throughput(benchmark):
+    result = run_once(benchmark, WORKLOADS["flit_uniform"])
+    print(f"\nflit_uniform: {result.events_per_sec:,.0f} events/sec")
+    assert result.events == PINNED_EVENTS["flit_uniform"]
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FULL", "") in ("", "0"),
+    reason="end-to-end fig12 workload is slow; set REPRO_FULL=1",
+)
+def test_fig12_quick_throughput(benchmark):
+    result = run_once(benchmark, WORKLOADS["fig12_quick"])
+    print(f"\nfig12_quick: {result.events_per_sec:,.0f} events/sec")
+    assert result.events > 1_000_000

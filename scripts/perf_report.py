@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Measure simulation-core performance and update ``BENCH_core.json``.
+
+Thin launcher for :mod:`repro.perf.report` so the tracked perf numbers
+can be refreshed without installing the package::
+
+    python scripts/perf_report.py            # all workloads, update report
+    python scripts/perf_report.py --quick    # kernel/packet/flit only
+    python scripts/perf_report.py --check --quick   # CI regression gate
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.report import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -163,6 +163,14 @@ class ExecStats:
             f"{self.sim_cycles:,} cycles, {self.sim_events:,} events "
             f"({rate / 1e6:.2f} Mev/s)"
         )
+        if self.records:
+            slowest = max(self.records, key=lambda r: r.wall_time)
+            rates = [r.events_per_sec for r in self.records]
+            lines.append(
+                f"per-run rate: {min(rates) / 1e6:.2f}-{max(rates) / 1e6:.2f}"
+                f" Mev/s | slowest: {slowest.label} "
+                f"({slowest.wall_time:.1f}s)"
+            )
         where = cache_dir if cache_dir else "disabled"
         lines.append(f"cache: {where} (schema v{RESULT_SCHEMA_VERSION})")
         return "\n".join(lines)

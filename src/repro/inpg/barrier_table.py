@@ -107,8 +107,8 @@ class LockingBarrierTable:
     def _arm_ttl(self, barrier: LockBarrier) -> None:
         if barrier._expiry is not None:
             barrier._expiry.cancel()
-        barrier._expiry = self.sim.schedule(
-            self.ttl, lambda: self._expire(barrier.addr)
+        barrier._expiry = self.sim.schedule_cancellable(
+            self.ttl, self._expire, barrier.addr
         )
 
     def _disarm_ttl(self, barrier: LockBarrier) -> None:

@@ -52,13 +52,21 @@ class BigRouter(Router):
         self.invs_generated = 0
         self.getx_stopped = 0
         self.acks_forwarded = 0
+        self._memsys_cache = None
 
     # ------------------------------------------------------------------
     @property
     def _memsys(self):
-        memsys = getattr(self.network, "memsys", None)
+        # inspect() runs for every packet entering a big router; resolve
+        # the memory system once instead of a getattr per packet.
+        memsys = self._memsys_cache
         if memsys is None:
-            raise RuntimeError("BigRouter requires network.memsys to be attached")
+            memsys = getattr(self.network, "memsys", None)
+            if memsys is None:
+                raise RuntimeError(
+                    "BigRouter requires network.memsys to be attached"
+                )
+            self._memsys_cache = memsys
         return memsys
 
     def inspect(self, packet: Packet) -> str:

@@ -93,8 +93,17 @@ class VirtualChannel:
         return self.capacity - len(self.buffer)
 
 
+#: port index -> the input port a flit sent through it arrives on
+_REVERSE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+
 class FlitRouter(Component):
-    """2-stage speculative wormhole router."""
+    """2-stage speculative wormhole router.
+
+    Occupancy (``_buffered``) and downstream-VC claims (``_claimed``) are
+    maintained incrementally, so per-tick work never rescans the full
+    5 x VCs buffer matrix.
+    """
 
     def __init__(self, sim: Simulator, node: int, fabric: "FlitNetwork"):
         super().__init__(sim, f"flitrouter{node}")
@@ -112,6 +121,39 @@ class FlitRouter(Component):
         ]
         self._scheduled = False
         self._rr = 0  # round-robin pointer for switch allocation
+        #: total flits currently sitting in our input buffers
+        self._buffered = 0
+        #: (out_port, out_vc) pairs claimed by active input VCs
+        self._claimed: set = set()
+        mesh = fabric.mesh
+        x, y = mesh.coords(node)
+        #: dst -> output port (precomputed XY routing decision)
+        route = []
+        for dst in range(mesh.num_nodes):
+            if dst == node:
+                route.append(LOCAL)
+                continue
+            dx, dy = mesh.coords(dst)
+            if dx > x:
+                route.append(EAST)
+            elif dx < x:
+                route.append(WEST)
+            elif dy > y:
+                route.append(SOUTH)
+            else:
+                route.append(NORTH)
+        self._route_row = tuple(route)
+        #: out_port -> neighbour node id (None off the mesh edge)
+        neighbors: List[Optional[int]] = [None] * 5
+        if x < mesh.width - 1:
+            neighbors[EAST] = mesh.node_at(x + 1, y)
+        if x > 0:
+            neighbors[WEST] = mesh.node_at(x - 1, y)
+        if y < mesh.height - 1:
+            neighbors[SOUTH] = mesh.node_at(x, y + 1)
+        if y > 0:
+            neighbors[NORTH] = mesh.node_at(x, y - 1)
+        self._neighbor_nodes = neighbors
 
     # ------------------------------------------------------------------
     def wake(self) -> None:
@@ -123,6 +165,7 @@ class FlitRouter(Component):
         vc = self.vcs[in_port][vc_index]
         assert vc.free_slots > 0, "credit protocol violated"
         vc.buffer.append(flit)
+        self._buffered += 1
         self.wake()
 
     def credit_return(self, out_port: int, vc_index: int) -> None:
@@ -131,47 +174,30 @@ class FlitRouter(Component):
 
     # ------------------------------------------------------------------
     def _route_port(self, dst: int) -> int:
-        if dst == self.node:
-            return LOCAL
-        mesh = self.fabric.mesh
-        x, y = mesh.coords(self.node)
-        dx, dy = mesh.coords(dst)
-        if dx > x:
-            return EAST
-        if dx < x:
-            return WEST
-        if dy > y:
-            return SOUTH
-        return NORTH
+        return self._route_row[dst]
 
     def _neighbor(self, out_port: int) -> int:
-        mesh = self.fabric.mesh
-        x, y = mesh.coords(self.node)
-        if out_port == EAST:
-            return mesh.node_at(x + 1, y)
-        if out_port == WEST:
-            return mesh.node_at(x - 1, y)
-        if out_port == SOUTH:
-            return mesh.node_at(x, y + 1)
-        if out_port == NORTH:
-            return mesh.node_at(x, y - 1)
-        raise AssertionError(out_port)
+        node = self._neighbor_nodes[out_port]
+        if node is None:
+            raise AssertionError(out_port)
+        return node
 
     @staticmethod
     def _reverse_port(out_port: int) -> int:
-        return {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}[out_port]
+        return _REVERSE[out_port]
 
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         self._scheduled = False
         work_left = False
+        now = self.now
         # stage 1 for heads: RC + VC allocation (speculative with SA)
         for port in range(5):
             for vc in self.vcs[port]:
                 if vc.buffer and not vc.active:
                     head = vc.buffer[0]
                     if head.is_head:
-                        out_port = self._route_port(head.packet.dst)
+                        out_port = self._route_row[head.packet.dst]
                         out_vc = self._allocate_vc(out_port)
                         if out_vc is None:
                             work_left = True
@@ -180,18 +206,25 @@ class FlitRouter(Component):
                             out_port, out_vc, True
                         )
                         # ST happens in the next pipeline stage
-                        vc.ready_at = self.now + 1
+                        vc.ready_at = now + 1
         # SA + ST: one flit per output port per cycle, round-robin inputs
         granted_outputs: Dict[int, bool] = {}
-        order = list(range(5 * self.num_vcs))
-        order = order[self._rr:] + order[: self._rr]
-        self._rr = (self._rr + 1) % (5 * self.num_vcs)
-        for idx in order:
-            port, vc_index = divmod(idx, self.num_vcs)
+        num_vcs = self.num_vcs
+        total = 5 * num_vcs
+        rr = self._rr
+        self._rr = (rr + 1) % total
+        schedule = self.sim.schedule
+        link = self.fabric.config.link_cycles
+        routers = self.fabric.routers
+        for step in range(total):
+            idx = rr + step
+            if idx >= total:
+                idx -= total
+            port, vc_index = divmod(idx, num_vcs)
             vc = self.vcs[port][vc_index]
             if not (vc.active and vc.buffer):
                 continue
-            if self.now < vc.ready_at:
+            if now < vc.ready_at:
                 work_left = True
                 continue
             out_port = vc.out_port
@@ -204,40 +237,42 @@ class FlitRouter(Component):
                 continue
             granted_outputs[out_port] = True
             flit = vc.buffer.popleft()
+            self._buffered -= 1
             out_vc = vc.out_vc
             if flit.is_tail:
                 vc.active = False
+                self._claimed.discard((out_port, out_vc))
                 vc.out_port = vc.out_vc = None
             if out_port == LOCAL:
                 if flit.is_tail:
                     self.fabric.deliver(flit.packet)
             else:
                 self.credits[out_port][out_vc] -= 1
-                neighbor = self.fabric.routers[self._neighbor(out_port)]
-                in_port = self._reverse_port(out_port)
-                link = self.fabric.config.link_cycles
-                self.after(
-                    link,
-                    lambda n=neighbor, p=in_port, v=out_vc, f=flit:
-                        n.accept_flit(p, v, f),
+                neighbor = routers[self._neighbor_nodes[out_port]]
+                schedule(
+                    link, neighbor.accept_flit,
+                    _REVERSE[out_port], out_vc, flit,
                 )
             # our input buffer slot is free either way: credit upstream
-            self.after(
-                1, lambda p=port, v=vc_index: self._return_credit(p, v)
-            )
-            if vc.buffer or self._any_pending():
+            schedule(1, self._return_credit, port, vc_index)
+            # a flit still buffered *at grant time* keeps the router hot
+            # next cycle even if it drains later this tick (the extra
+            # tick can catch flits arriving that cycle) — O(1) via the
+            # occupancy counter where the old code rescanned every VC
+            if vc.buffer or self._buffered:
                 work_left = True
-        if work_left or self._any_pending():
+        if work_left or self._buffered:
             self.wake()
 
     def _allocate_vc(self, out_port: int) -> Optional[int]:
-        """First downstream VC not already claimed by one of our inputs."""
-        claimed = {
-            (v.out_port, v.out_vc)
-            for row in self.vcs for v in row if v.active
-        }
+        """First downstream VC not already claimed by one of our inputs.
+
+        ``_claimed`` mirrors the active input VCs' (out_port, out_vc)
+        assignments incrementally, replacing the full-matrix rebuild."""
+        claimed = self._claimed
         for candidate in range(self.num_vcs):
             if (out_port, candidate) not in claimed:
+                claimed.add((out_port, candidate))
                 return candidate
         return None
 
@@ -245,11 +280,12 @@ class FlitRouter(Component):
         if in_port == LOCAL:
             self.fabric.local_credit(self.node, vc_index)
             return
-        upstream = self.fabric.routers[self._neighbor(in_port)]
-        upstream.credit_return(self._reverse_port(in_port), vc_index)
+        upstream = self.fabric.routers[self._neighbor_nodes[in_port]]
+        upstream.credit_return(_REVERSE[in_port], vc_index)
 
     def _any_pending(self) -> bool:
-        return any(vc.buffer for row in self.vcs for vc in row)
+        """Any flit buffered at this router (O(1) incremental counter)."""
+        return self._buffered > 0
 
 
 class FlitNetwork(Component):

@@ -31,15 +31,21 @@ class Network(Component):
         config: NocConfig,
         router_factory: Optional[RouterFactory] = None,
         priority_arbitration: bool = False,
+        record_traces: bool = False,
     ):
         super().__init__(sim, "network")
         self.config = config
         self.mesh = Mesh(config.width, config.height)
         self.priority_arbitration = priority_arbitration
+        #: when True every packet records its full per-router trace (a
+        #: debugging/stats aid); hop counts are maintained regardless.
+        self.record_traces = record_traces
         factory = router_factory or Router
         self.routers: Dict[int, Router] = {}
         for node in range(self.mesh.num_nodes):
             self.routers[node] = factory(sim, node, self)
+        for router in self.routers.values():
+            router.wire()
         self._endpoints: Dict[int, EndpointHandler] = {}
         #: statistics
         self.packets_injected = 0
@@ -104,7 +110,9 @@ class Network(Component):
         packet.delivered_cycle = self.now
         self.packets_delivered += 1
         self.total_latency += packet.latency
-        self.total_hops += max(0, len(packet.trace) - 1)
+        hops = packet.hops - 1
+        if hops > 0:
+            self.total_hops += hops
         handler = self._endpoints.get(packet.dst)
         if handler is None:
             raise RuntimeError(f"no endpoint registered at node {packet.dst}")

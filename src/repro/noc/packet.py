@@ -34,7 +34,11 @@ class Packet:
     pid: int = field(default_factory=lambda: next(_packet_ids))
     injected_cycle: int = -1
     delivered_cycle: int = -1
-    #: routers traversed so far (head-flit trace).
+    #: routers visited so far (hop counting is always on; the full
+    #: per-router trace below is only populated when the network was
+    #: built with ``record_traces=True``).
+    hops: int = 0
+    #: routers traversed so far (head-flit trace; empty unless tracing).
     trace: List[int] = field(default_factory=list)
 
     @property

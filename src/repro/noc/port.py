@@ -52,36 +52,47 @@ class OutputPort(Component):
 
         Arbitration is per virtual network first (control never waits
         behind queued data bursts), then by OCOR priority where enabled,
-        then oldest-first.
+        then oldest-first.  An idle port grants immediately without
+        touching the arbitration heap (the common uncontended case).
         """
+        if not self._busy and not self._pending:
+            self._grant(packet, on_granted)
+            return
         priority = packet.priority if self.priority_aware else 0
         key = (packet.vnet, -priority, self.now, self._seq)
         self._seq += 1
         heapq.heappush(self._pending, (key, packet, on_granted))
-        self.peak_queue_depth = max(self.peak_queue_depth, len(self._pending))
-        if not self._busy:
-            self._grant_next()
+        if len(self._pending) > self.peak_queue_depth:
+            self.peak_queue_depth = len(self._pending)
 
-    def _grant_next(self) -> None:
-        """Grant the best pending packet (wormhole / cut-through).
+    def _grant(
+        self, packet: Packet, on_granted: Callable[[Packet], None]
+    ) -> None:
+        """Grant ``packet`` the port (wormhole / cut-through).
 
         The head flit leaves one cycle after the grant and the packet
         proceeds immediately — its body streams behind it — while this
         port stays busy for the full serialization time before granting
         the next packet.
         """
+        self._busy = True
+        occupancy = packet.size_flits
+        if occupancy < 1:
+            occupancy = 1
+        self.packets_sent += 1
+        self.flits_sent += occupancy
+        schedule = self.sim.schedule
+        schedule(1, on_granted, packet)
+        schedule(occupancy, self._grant_next)
+
+    def _grant_next(self) -> None:
+        """The port freed up: grant the best queued request, if any."""
         if not self._pending:
             self._busy = False
             return
-        self._busy = True
         key, packet, on_granted = heapq.heappop(self._pending)
-        arrival = key[2]
-        self.total_wait_cycles += self.now - arrival
-        occupancy = max(1, packet.size_flits)
-        self.packets_sent += 1
-        self.flits_sent += occupancy
-        self.after(1, lambda: on_granted(packet))
-        self.after(occupancy, self._grant_next)
+        self.total_wait_cycles += self.now - key[2]
+        self._grant(packet, on_granted)
 
     @property
     def queue_depth(self) -> int:

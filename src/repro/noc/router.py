@@ -12,11 +12,16 @@ Routers expose an :meth:`inspect` hook, called when a packet enters the
 router, **before** route computation.  Normal routers always let packets
 continue; the iNPG big router overrides it to stop lock requests and
 generate early invalidations (``repro.inpg.big_router``).
+
+Datapath hot path: routing uses the mesh's precomputed next-hop row, and
+every event is scheduled as ``(bound method, packet)`` — no closures are
+allocated per hop.  Link-grant handlers are built once per output port
+when the network wires the routers together (:meth:`wire`).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Callable, Dict
 
 from ..sim import Component, Simulator
 from .packet import Packet
@@ -51,6 +56,31 @@ class Router(Component):
             )
         self.ports[node] = OutputPort(sim, f"router{node}->local", priority_aware)
         self.packets_seen = 0
+        #: row[dst] -> next node on the XY path (shared, precomputed)
+        self._hop_row = network.mesh.next_hop_row(node)
+        #: subclasses that override inspect() pay for the hook; the base
+        #: router skips the call entirely.
+        self._inspects = type(self).inspect is not Router.inspect
+        #: per-output-port grant handlers, built by wire()
+        self._grant_handlers: Dict[int, Callable[[Packet], None]] = {}
+        self._record_trace = network.record_traces
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the network once all routers exist)
+    # ------------------------------------------------------------------
+    def wire(self) -> None:
+        """Pre-bind the downstream ``accept`` of each neighbour so a port
+        grant schedules the link traversal without allocating a closure."""
+        schedule = self.sim.schedule
+        link = self.link_cycles
+        for neighbor in self.network.mesh.neighbors(self.node):
+            accept = self.network.routers[neighbor].accept
+
+            def on_granted(packet: Packet, _accept=accept) -> None:
+                schedule(link, _accept, packet)
+
+            self._grant_handlers[neighbor] = on_granted
+        self._deliver = self.network.deliver_local
 
     # ------------------------------------------------------------------
     # Hook for subclasses (big router)
@@ -70,30 +100,29 @@ class Router(Component):
     def accept(self, packet: Packet) -> None:
         """Head flit of ``packet`` arrives at this router."""
         self.packets_seen += 1
-        packet.trace.append(self.node)
-        if self.inspect(packet) == STOPPED:
+        packet.hops += 1
+        if self._record_trace:
+            packet.trace.append(self.node)
+        if self._inspects and self.inspect(packet) == STOPPED:
             return
-        self.after(self.pipeline_cycles, lambda: self._route(packet))
+        self.sim.schedule(self.pipeline_cycles, self._route, packet)
 
     def _route(self, packet: Packet) -> None:
-        if packet.dst == self.node:
-            port = self.ports[self.node]
-            port.request(packet, self._eject)
+        dst = packet.dst
+        if dst == self.node:
+            self.ports[dst].request(packet, self._eject)
             return
-        next_node = self.network.mesh.next_hop(self.node, packet.dst)
-        port = self.ports[next_node]
-        port.request(packet, lambda p: self._traverse_link(p, next_node))
-
-    def _traverse_link(self, packet: Packet, next_node: int) -> None:
-        next_router = self.network.routers[next_node]
-        self.after(self.link_cycles, lambda: next_router.accept(packet))
+        next_node = self._hop_row[dst]
+        self.ports[next_node].request(
+            packet, self._grant_handlers[next_node]
+        )
 
     def _eject(self, packet: Packet) -> None:
         # the endpoint has the packet when the tail flit arrives
-        tail = max(0, packet.size_flits - 1)
-        self.after(tail, lambda: self.network.deliver_local(packet))
+        tail = packet.size_flits - 1
+        self.sim.schedule(tail if tail > 0 else 0, self._deliver, packet)
 
     def forward_now(self, packet: Packet) -> None:
         """Re-enter the datapath at this router (used by big routers to
         send generated or converted packets on their way)."""
-        self.after(self.pipeline_cycles, lambda: self._route(packet))
+        self.sim.schedule(self.pipeline_cycles, self._route, packet)

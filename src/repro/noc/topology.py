@@ -5,31 +5,48 @@ packets first travel along the X dimension to the destination column, then
 along Y.  XY routing is deterministic and deadlock-free, which also makes
 the path of every lock request predictable — the property iNPG exploits
 when placing big routers.
+
+Routing is table-driven: every ``(width, height)`` shape builds its
+coordinate table once and next-hop rows on first use, shared process-wide
+across all :class:`Mesh` instances of that shape (a fig12 sweep builds
+hundreds of 8x8 meshes).  ``next_hop`` is then two tuple lookups with no
+arithmetic on the router hot path.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 
 class Mesh:
     """A ``width`` x ``height`` mesh of routers addressed 0..N-1 row-major."""
+
+    #: (width, height) -> (coords table, {node -> next-hop row})
+    _SHAPE_CACHE: Dict[
+        Tuple[int, int],
+        Tuple[Tuple[Tuple[int, int], ...], Dict[int, Tuple[int, ...]]],
+    ] = {}
 
     def __init__(self, width: int, height: int):
         if width < 1 or height < 1:
             raise ValueError("mesh dimensions must be positive")
         self.width = width
         self.height = height
-
-    @property
-    def num_nodes(self) -> int:
-        return self.width * self.height
+        self.num_nodes = width * height
+        cached = Mesh._SHAPE_CACHE.get((width, height))
+        if cached is None:
+            coords = tuple(
+                (node % width, node // width) for node in range(self.num_nodes)
+            )
+            cached = (coords, {})
+            Mesh._SHAPE_CACHE[(width, height)] = cached
+        self._coords, self._hop_rows = cached
 
     def coords(self, node: int) -> Tuple[int, int]:
         """(x, y) of ``node``; raises for out-of-range ids."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
-        return node % self.width, node // self.width
+        return self._coords[node]
 
     def node_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.width and 0 <= y < self.height):
@@ -68,15 +85,32 @@ class Mesh:
             path.append(self.node_at(x, y))
         return path
 
+    def next_hop_row(self, current: int) -> Tuple[int, ...]:
+        """Per-source routing row: ``row[dst]`` is the next hop on the XY
+        path from ``current``.  Built on first use and shared across all
+        meshes of this shape; routers index their row directly."""
+        row = self._hop_rows.get(current)
+        if row is None:
+            cx, cy = self.coords(current)
+            width = self.width
+            hops = []
+            for dst in range(self.num_nodes):
+                dx, dy = self._coords[dst]
+                if cx != dx:
+                    hops.append(cy * width + cx + (1 if dx > cx else -1))
+                elif cy != dy:
+                    hops.append((cy + (1 if dy > cy else -1)) * width + cx)
+                else:
+                    hops.append(current)
+            row = tuple(hops)
+            self._hop_rows[current] = row
+        return row
+
     def next_hop(self, current: int, dst: int) -> int:
         """Next router on the XY path from ``current`` toward ``dst``."""
-        cx, cy = self.coords(current)
-        dx, dy = self.coords(dst)
-        if cx != dx:
-            return self.node_at(cx + (1 if dx > cx else -1), cy)
-        if cy != dy:
-            return self.node_at(cx, cy + (1 if dy > cy else -1))
-        return current
+        if not 0 <= dst < self.num_nodes:
+            raise ValueError(f"node {dst} outside mesh of {self.num_nodes}")
+        return self.next_hop_row(current)[dst]
 
     def hop_distance(self, src: int, dst: int) -> int:
         """Manhattan distance between two nodes."""

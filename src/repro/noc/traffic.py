@@ -64,6 +64,9 @@ class TrafficResult:
     offered: int
     delivered: int
     mean_latency: float
+    #: simulator work done producing this result (perf accounting)
+    sim_events: int = 0
+    sim_cycles: int = 0
 
     @property
     def accepted_fraction(self) -> float:
@@ -118,6 +121,8 @@ def run_packet_traffic(
         offered=offered,
         delivered=len(delivered),
         mean_latency=mean,
+        sim_events=sim.events_processed,
+        sim_cycles=sim.cycle,
     )
 
 

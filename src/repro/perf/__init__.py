@@ -1,0 +1,32 @@
+"""Performance benchmarking of the simulation core.
+
+The perf-bench subsystem measures the simulator's own speed (events/sec
+and wall time) on four canonical workloads — the bare event kernel, the
+packet-level NoC datapath, the flit-level validation model, and a cold
+end-to-end ``fig12 --quick`` run — and records the results in a
+schema-versioned ``BENCH_core.json`` at the repository root.  That file
+seeds the repo's performance trajectory: CI re-measures a pinned subset
+and fails on a >30% events/sec regression against the committed numbers
+(``scripts/perf_report.py --check``).
+"""
+
+from .report import (
+    BENCH_SCHEMA,
+    DEFAULT_OUTPUT,
+    REGRESSION_TOLERANCE,
+    check_against,
+    run_workloads,
+    write_report,
+)
+from .workloads import WORKLOADS, WorkloadResult
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_OUTPUT",
+    "REGRESSION_TOLERANCE",
+    "WORKLOADS",
+    "WorkloadResult",
+    "check_against",
+    "run_workloads",
+    "write_report",
+]

@@ -1,0 +1,216 @@
+"""Measure the core workloads and maintain ``BENCH_core.json``.
+
+The report file is schema-versioned (``bench-core/v1``)::
+
+    {
+      "schema": "bench-core/v1",
+      "workloads": { "<name>": {wall_s, events, cycles, events_per_sec} },
+      "baseline":  { "<name>": {...}, "label": "<provenance>" },
+      "speedup":   { "<name>": <events_per_sec ratio vs baseline> }
+    }
+
+``workloads`` holds the most recent measurement; ``baseline`` is kept
+verbatim across re-measurements (the pre-optimization seed numbers,
+unless ``--rebaseline`` replaces them), so the file always documents
+before/after.  ``--check`` re-runs a subset and fails when events/sec
+drops more than :data:`REGRESSION_TOLERANCE` below the committed
+``workloads`` numbers — the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .workloads import QUICK_WORKLOADS, WORKLOADS, WorkloadResult
+
+#: schema tag written into (and required of) every report file
+BENCH_SCHEMA = "bench-core/v1"
+#: default report location: the repository root
+DEFAULT_OUTPUT = "BENCH_core.json"
+#: --check fails when current events/sec < (1 - tolerance) * committed
+REGRESSION_TOLERANCE = 0.30
+
+
+def run_workloads(names: Iterable[str]) -> Dict[str, WorkloadResult]:
+    """Execute the named workloads (in the given order)."""
+    results: Dict[str, WorkloadResult] = {}
+    for name in names:
+        runner = WORKLOADS.get(name)
+        if runner is None:
+            raise KeyError(
+                f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+            )
+        result = runner()
+        results[name] = result
+        print(
+            f"  {name}: {result.events:,} events in {result.wall_s:.2f}s "
+            f"({result.events_per_sec / 1e6:.2f} Mev/s)"
+        )
+    return results
+
+
+def load_report(path: Path) -> Optional[dict]:
+    """Parse an existing report; None when absent or unreadable."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if data.get("schema") != BENCH_SCHEMA:
+        return None
+    return data
+
+
+def write_report(
+    results: Dict[str, WorkloadResult],
+    path: Path,
+    baseline_label: Optional[str] = None,
+    rebaseline: bool = False,
+) -> dict:
+    """Merge fresh measurements into the report file at ``path``.
+
+    The first measurement (or ``rebaseline=True``) also becomes the
+    baseline; afterwards the baseline is preserved verbatim so the file
+    keeps its before/after story.
+    """
+    previous = load_report(path)
+    workloads = dict(previous.get("workloads", {})) if previous else {}
+    for name, result in results.items():
+        workloads[name] = result.as_dict()
+
+    if previous and not rebaseline:
+        baseline = previous.get("baseline", {})
+    else:
+        baseline = {name: dict(entry) for name, entry in workloads.items()}
+        baseline["label"] = baseline_label or "baseline"
+
+    speedup = {}
+    for name, entry in workloads.items():
+        base = baseline.get(name)
+        if isinstance(base, dict) and base.get("events_per_sec"):
+            speedup[name] = round(
+                entry["events_per_sec"] / base["events_per_sec"], 2
+            )
+
+    report = {
+        "schema": BENCH_SCHEMA,
+        "workloads": workloads,
+        "baseline": baseline,
+        "speedup": speedup,
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def check_against(
+    results: Dict[str, WorkloadResult],
+    committed: dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Regression check: fresh results vs the committed ``workloads``.
+
+    Returns a list of human-readable failures (empty = pass).
+    """
+    failures: List[str] = []
+    reference = committed.get("workloads", {})
+    for name, result in results.items():
+        entry = reference.get(name)
+        if not entry:
+            continue  # workload not in the committed report: nothing to gate
+        committed_rate = entry.get("events_per_sec", 0.0)
+        if committed_rate <= 0:
+            continue
+        floor = (1.0 - tolerance) * committed_rate
+        if result.events_per_sec < floor:
+            failures.append(
+                f"{name}: {result.events_per_sec:,.0f} ev/s is "
+                f"{100 * (1 - result.events_per_sec / committed_rate):.1f}% "
+                f"below the committed {committed_rate:,.0f} ev/s "
+                f"(tolerance {100 * tolerance:.0f}%)"
+            )
+        if result.events != entry.get("events", result.events):
+            failures.append(
+                f"{name}: simulated {result.events:,} events but the "
+                f"committed report says {entry['events']:,} — the pinned "
+                "workload changed; re-run scripts/perf_report.py"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure simulation-core performance "
+        "(events/sec on canonical workloads)."
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"report file to update (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", metavar="NAME",
+        help=f"subset to run (default: all; known: {sorted(WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the fast kernel/packet/flit workloads "
+        "(skips the end-to-end fig12 run)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="do not rewrite the report; fail if events/sec regressed "
+        f">{100 * REGRESSION_TOLERANCE:.0f}%% vs the committed numbers",
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="also replace the stored baseline with this measurement",
+    )
+    parser.add_argument(
+        "--baseline-label", default=None,
+        help="provenance note stored with a new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workloads:
+        names = list(args.workloads)
+    elif args.quick:
+        names = list(QUICK_WORKLOADS)
+    else:
+        names = list(WORKLOADS)
+
+    path = Path(args.output)
+    print(f"measuring {len(names)} workload(s): {', '.join(names)}")
+    results = run_workloads(names)
+
+    if args.check:
+        committed = load_report(path)
+        if committed is None:
+            print(f"error: no committed report at {path} to check against",
+                  file=sys.stderr)
+            return 2
+        failures = check_against(results, committed)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check passed (within {100 * REGRESSION_TOLERANCE:.0f}% "
+              f"of {path})")
+        return 0
+
+    report = write_report(
+        results, path,
+        baseline_label=args.baseline_label,
+        rebaseline=args.rebaseline,
+    )
+    for name, ratio in sorted(report["speedup"].items()):
+        print(f"  speedup vs baseline [{name}]: {ratio:.2f}x")
+    print(f"wrote {path} (schema {BENCH_SCHEMA})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

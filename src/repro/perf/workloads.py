@@ -1,0 +1,164 @@
+"""Canonical workloads for benchmarking the simulation core.
+
+Each workload is deterministic (fixed seeds, fixed shapes) so that
+events/sec numbers are comparable across commits: the *work simulated*
+is pinned, only the wall time may change.  Four layers are covered:
+
+* ``kernel_chain``   — the bare discrete-event kernel: self-rescheduling
+  callback chains, no model code at all.
+* ``packet_uniform`` — the packet-level NoC datapath (routers, ports,
+  XY routing) under uniform-random synthetic traffic.
+* ``flit_uniform``   — the flit-level validation model (VC allocation,
+  switch allocation, credit flow control) under the same kind of load.
+* ``fig12_quick``    — a cold end-to-end ``fig12 --quick`` regeneration
+  (24 full-system simulations), the workload every figure harness
+  bottoms out in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..config import NocConfig
+from ..sim import Simulator, make_rng
+
+
+@dataclass
+class WorkloadResult:
+    """One measured workload: how much was simulated, how fast."""
+
+    name: str
+    wall_s: float
+    events: int
+    cycles: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "cycles": self.cycles,
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+
+
+def _measure(name: str, fn: Callable[[], "tuple[int, int]"]) -> WorkloadResult:
+    start = time.perf_counter()
+    events, cycles = fn()
+    wall = time.perf_counter() - start
+    return WorkloadResult(name=name, wall_s=wall, events=events, cycles=cycles)
+
+
+# ----------------------------------------------------------------------
+# 1. Bare kernel
+# ----------------------------------------------------------------------
+def kernel_chain(total_events: int = 400_000, chains: int = 64) -> WorkloadResult:
+    """Self-rescheduling callback chains exercising only the event loop."""
+
+    def run():
+        sim = Simulator()
+        state = {"fired": 0}
+
+        def make(delay: int) -> Callable[[], None]:
+            def tick() -> None:
+                state["fired"] += 1
+                if state["fired"] < total_events:
+                    sim.schedule(delay, tick)
+
+            return tick
+
+        for i in range(chains):
+            sim.schedule(i % 7, make(1 + (i % 5)))
+        sim.run()
+        return sim.events_processed, sim.cycle
+
+    return _measure("kernel_chain", run)
+
+
+# ----------------------------------------------------------------------
+# 2. Packet-level NoC
+# ----------------------------------------------------------------------
+def packet_uniform(
+    duration: int = 4_000, injection_rate: float = 0.08, seed: int = 7
+) -> WorkloadResult:
+    """Uniform-random traffic on the 8x8 packet-level mesh."""
+    from ..noc.traffic import run_packet_traffic
+
+    def run():
+        result = run_packet_traffic(
+            NocConfig(width=8, height=8),
+            "uniform",
+            injection_rate=injection_rate,
+            duration=duration,
+            size_flits=1,
+            seed=seed,
+        )
+        return result.sim_events, result.sim_cycles
+
+    return _measure("packet_uniform", run)
+
+
+# ----------------------------------------------------------------------
+# 3. Flit-level NoC
+# ----------------------------------------------------------------------
+def flit_uniform(packets: int = 1_200, seed: int = 11) -> WorkloadResult:
+    """Uniform-random packets through the flit-level validation model."""
+    from ..noc.flitsim import FlitNetwork
+
+    def run():
+        sim = Simulator()
+        net = FlitNetwork(sim, NocConfig(width=8, height=8))
+        rng = make_rng(seed, "perf/flit")
+        n = net.mesh.num_nodes
+        for i in range(packets):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            while dst == src:
+                dst = rng.randrange(n)
+            length = 8 if i % 4 == 0 else 1
+            sim.schedule_at(
+                i // 2,
+                lambda s=src, d=dst, l=length: net.send(s, d, l),
+            )
+        sim.run(until=2_000_000)
+        return sim.events_processed, sim.cycle
+
+    return _measure("flit_uniform", run)
+
+
+# ----------------------------------------------------------------------
+# 4. End-to-end figure regeneration
+# ----------------------------------------------------------------------
+def fig12_quick() -> WorkloadResult:
+    """Cold (cache-disabled, single-process) ``fig12 --quick`` run."""
+    from ..exec import Executor, NullCache
+    from ..experiments import common, fig12_roi
+
+    def run():
+        previous = common.get_executor()
+        executor = common.set_executor(Executor(jobs=1, cache=NullCache()))
+        try:
+            fig12_roi.run(scale=0.5, quick=True)
+            return executor.stats.sim_events, executor.stats.sim_cycles
+        finally:
+            common.set_executor(previous)
+
+    return _measure("fig12_quick", run)
+
+
+#: name -> zero-argument workload runner.  ``fig12_quick`` is the
+#: slow end-to-end one; ``--quick`` runs skip it.
+WORKLOADS: Dict[str, Callable[[], WorkloadResult]] = {
+    "kernel_chain": kernel_chain,
+    "packet_uniform": packet_uniform,
+    "flit_uniform": flit_uniform,
+    "fig12_quick": fig12_quick,
+}
+
+#: the fast subset CI measures (pinned, seconds not minutes)
+QUICK_WORKLOADS = ("kernel_chain", "packet_uniform", "flit_uniform")

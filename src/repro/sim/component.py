@@ -14,6 +14,8 @@ class Component:
     ``name`` for tracing.
     """
 
+    __slots__ = ("sim", "name")
+
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name
@@ -23,9 +25,16 @@ class Component:
         """Current simulation cycle."""
         return self.sim.cycle
 
-    def after(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` ``delay`` cycles in the future."""
-        return self.sim.schedule(delay, callback)
+    def after(self, delay: int, fn: Callable[..., None], *args) -> None:
+        """Schedule ``fn(*args)`` ``delay`` cycles in the future (hot,
+        non-cancellable path — see :meth:`Simulator.schedule`)."""
+        self.sim.schedule(delay, fn, *args)
+
+    def after_cancellable(
+        self, delay: int, fn: Callable[..., None], *args
+    ) -> Event:
+        """Schedule a retractable timer ``delay`` cycles out."""
+        return self.sim.schedule_cancellable(delay, fn, *args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"

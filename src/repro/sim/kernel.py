@@ -7,11 +7,22 @@ scheduler) schedules callbacks on a shared :class:`Simulator` instance.
 Determinism matters for a reproduction: two events scheduled for the same
 cycle fire in the order they were scheduled (FIFO tie-break via a sequence
 number), so a run is a pure function of its configuration and seed.
+
+Performance: the hot scheduling path stores plain tuples
+``(cycle, seq, fn, args)`` on the heap — tuple comparison happens in C and
+never reaches the payload because ``seq`` is unique — and
+:meth:`Simulator.schedule` accepts ``*args`` so callers pass bound methods
+plus arguments instead of building a closure per event.  Cancellable
+timers (the rare case: TTL countdowns, retractable timeouts) go through
+:meth:`Simulator.schedule_cancellable`, which still allocates an
+:class:`Event`; cancelled entries are lazily skipped and the queue is
+compacted when corpses pile up (lock-retry storms re-arm TTLs constantly).
 """
 
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Callable, List, Optional, Tuple
 
 
@@ -20,24 +31,40 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
-    Events are cancellable: :meth:`cancel` marks the event dead and the
-    kernel skips it when popped.  This is how TTL countdowns and retry
-    timeouts are retracted when superseded.
+    Only :meth:`Simulator.schedule_cancellable` creates these;
+    :meth:`cancel` marks the event dead and the kernel skips it when
+    popped (or removes it during queue compaction).  This is how TTL
+    countdowns and retry timeouts are retracted when superseded.
     """
 
-    __slots__ = ("cycle", "seq", "callback", "cancelled")
+    __slots__ = ("cycle", "seq", "fn", "args", "cancelled", "_dead", "_sim")
 
-    def __init__(self, cycle: int, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        cycle: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+        sim: Optional["Simulator"] = None,
+    ):
         self.cycle = cycle
         self.seq = seq
-        self.callback = callback
+        self.fn = fn
+        self.args = args
         self.cancelled = False
+        #: fired or already reaped — cancel() becomes a no-op
+        self._dead = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event dead; the kernel will skip it."""
+        if self.cancelled or self._dead:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.cycle, self.seq) < (other.cycle, other.seq)
@@ -47,48 +74,74 @@ class Event:
         return f"Event(cycle={self.cycle}, seq={self.seq}, {state})"
 
 
+#: Heap entries are ``(cycle, seq, fn, args)`` for the fast path and
+#: ``(cycle, seq, event)`` for cancellable timers; ``seq`` is unique so
+#: heap comparisons never look past it.
+_Entry = tuple
+
+
 class Simulator:
     """Integer-cycle discrete event simulator.
 
     Usage::
 
         sim = Simulator()
-        sim.schedule(5, lambda: print("fires at cycle 5"))
+        sim.schedule(5, print, "fires at cycle 5")
         sim.run()
     """
 
+    #: compact the queue once at least this many corpses accumulate
+    #: *and* they make up at least half of the queue
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
-        self._queue: List[Event] = []
+        self._queue: List[_Entry] = []
         self._seq = 0
         self.cycle = 0
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        self._cancelled = 0
+        #: number of threshold-triggered queue compactions (observability)
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to fire ``delay`` cycles from now.
+    def schedule(self, delay: int, fn: Callable[..., None], *args) -> None:
+        """Schedule ``fn(*args)`` to fire ``delay`` cycles from now.
 
         ``delay`` must be >= 0.  A zero delay fires later in the current
-        cycle, after all previously scheduled work for this cycle.
-        Returns the :class:`Event`, which may be cancelled.
+        cycle, after all previously scheduled work for this cycle.  This
+        is the allocation-free hot path: the entry cannot be cancelled
+        (use :meth:`schedule_cancellable` for retractable timers).
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.cycle + int(delay), self._seq, callback)
+        heapq.heappush(
+            self._queue, (self.cycle + int(delay), self._seq, fn, args)
+        )
         self._seq += 1
-        heapq.heappush(self._queue, event)
-        return event
 
-    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at an absolute ``cycle`` (>= current cycle)."""
+    def schedule_at(self, cycle: int, fn: Callable[..., None], *args) -> None:
+        """Schedule ``fn(*args)`` at an absolute ``cycle`` (>= current cycle)."""
         if cycle < self.cycle:
             raise SimulationError(
                 f"cannot schedule at cycle {cycle} < current {self.cycle}"
             )
-        return self.schedule(cycle - self.cycle, callback)
+        self.schedule(cycle - self.cycle, fn, *args)
+
+    def schedule_cancellable(
+        self, delay: int, fn: Callable[..., None], *args
+    ) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` cycles; returns the
+        :class:`Event`, which may be cancelled until it fires."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.cycle + int(delay), self._seq, fn, args, sim=self)
+        heapq.heappush(self._queue, (event.cycle, self._seq, event))
+        self._seq += 1
+        return event
 
     # ------------------------------------------------------------------
     # Execution
@@ -101,24 +154,48 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
-        processed_this_run = 0
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                event = heapq.heappop(self._queue)
-                if event.cancelled:
+                head = queue[0]
+                if len(head) == 3 and head[2].cancelled:
+                    # reap head corpses before they can advance the clock
+                    pop(queue)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.cycle > until:
-                    # Put it back; the caller may resume later.
-                    heapq.heappush(self._queue, event)
+                cycle = head[0]
+                if until is not None and cycle > until:
+                    # Leave the queue intact; the caller may resume later.
                     self.cycle = until
                     break
-                self.cycle = event.cycle
-                event.callback()
-                self.events_processed += 1
-                processed_this_run += 1
-                if max_events is not None and processed_this_run >= max_events:
+                # Batch every event of this cycle: the clock advances
+                # once, then entries pop in FIFO (seq) order — including
+                # zero-delay events scheduled by the batch itself.
+                self.cycle = cycle
+                halted = False
+                while queue and queue[0][0] == cycle:
+                    entry = pop(queue)
+                    if len(entry) == 4:
+                        entry[2](*entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        event._dead = True
+                        event.fn(*event.args)
+                    self.events_processed += 1
+                    processed += 1
+                    if self._stopped or (
+                        max_events is not None and processed >= max_events
+                    ):
+                        halted = True
+                        break
+                if halted:
                     break
             else:
                 if until is not None and until > self.cycle:
@@ -131,19 +208,67 @@ class Simulator:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (threshold-triggered)."""
+        live: List[_Entry] = []
+        for entry in self._queue:
+            if len(entry) == 3 and entry[2].cancelled:
+                entry[2]._dead = True
+            else:
+                live.append(entry)
+        self._queue = live
+        heapq.heapify(live)
+        self._cancelled = 0
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of queued entries, including cancelled corpses awaiting
+        lazy deletion (see :attr:`live_pending_events`)."""
         return len(self._queue)
+
+    @property
+    def live_pending_events(self) -> int:
+        """Number of queued events that will actually fire."""
+        return len(self._queue) - self._cancelled
 
     def peek_next_cycle(self) -> Optional[int]:
         """Cycle of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].cycle if self._queue else None
+        queue = self._queue
+        while queue and len(queue[0]) == 3 and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        return queue[0][0] if queue else None
 
     def drain(self) -> List[Tuple[int, Callable[[], None]]]:
         """Remove and return all pending live events (for teardown/tests)."""
-        pending = [(e.cycle, e.callback) for e in self._queue if not e.cancelled]
+        pending: List[Tuple[int, Callable[[], None]]] = []
+        for entry in sorted(self._queue, key=lambda e: e[:2]):
+            if len(entry) == 4:
+                cycle, _, fn, args = entry
+                pending.append((cycle, partial(fn, *args) if args else fn))
+            elif not entry[2].cancelled:
+                event = entry[2]
+                event._dead = True
+                pending.append(
+                    (event.cycle,
+                     partial(event.fn, *event.args) if event.args
+                     else event.fn)
+                )
         self._queue.clear()
+        self._cancelled = 0
         return pending

@@ -173,7 +173,9 @@ class ManyCoreSystem:
             f"in_flight={self.network.in_flight}"
         )
         lines.append(
-            f"pending simulator events: {self.sim.pending_events}"
+            f"pending simulator events: {self.sim.live_pending_events} live "
+            f"({self.sim.pending_events} queued, "
+            f"{self.sim.compactions} compactions)"
         )
         mem = self.memsys
         for lock in self.locks:

@@ -1,0 +1,136 @@
+"""Golden determinism tests: pinned fingerprints of whole runs.
+
+The hot-path optimizations (tuple event entries, precomputed routing,
+allocation-free datapath, incremental flit-router bookkeeping) are only
+acceptable if they are *bit-exact*: a run is a pure function of its
+configuration and seed, and the optimized kernel must replay the seed
+implementation event for event.
+
+These tests pin md5 fingerprints over the delivered-packet stream —
+``(src, dst, size_flits, delivery_cycle)`` in delivery order — plus the
+final ROI cycle and the total event count of small fig12-shaped runs.
+The constants were captured on the pre-optimization seed tree; any
+change to event ordering, packet timing, or spurious/elided events
+shifts at least one of them.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.config import NocConfig
+from repro.noc.flitsim import FlitNetwork
+from repro.noc.network import Network
+from repro.sim import Simulator, make_rng
+from repro.system import run_benchmark
+
+# (benchmark, mechanism) -> (md5, roi_cycles, packets_delivered, sim_events)
+# captured at scale=0.25, seed=2018 on the seed implementation.
+GOLDEN_RUNS = {
+    ("bwaves", "original"):
+        ("3ecc6ffd17133339622466b7d95149c4", 4184, 1155, 26426),
+    ("bwaves", "inpg"):
+        ("dd781b988e06c2e9c1a90bd54369a7b4", 4184, 1157, 26531),
+    ("fluidanimate", "original"):
+        ("7036a289d9c4c4d83336ef00d111df3b", 14186, 8868, 235289),
+    ("fluidanimate", "inpg"):
+        ("c5d897ec2a81a2d581fa4c2ed1f40252", 15155, 9019, 243517),
+}
+
+# flit-level model: uniform-random traffic, seed 11 (the perf workload
+# shape) -> (md5 over (src, dst, length, injected, delivered), events)
+GOLDEN_FLIT = ("49e0dffdc473d86980de9a26886aa321", 63963, 1200)
+
+
+def fingerprint_run(bench, mechanism):
+    """Run a small fig12-shaped simulation, hashing every delivery."""
+    digest = hashlib.md5()
+    original_deliver = Network.deliver_local
+
+    def recording_deliver(self, packet):
+        digest.update(
+            b"%d,%d,%d,%d;"
+            % (packet.src, packet.dst, packet.size_flits, self.sim.cycle)
+        )
+        original_deliver(self, packet)
+
+    Network.deliver_local = recording_deliver
+    try:
+        result = run_benchmark(
+            bench, mechanism=mechanism, scale=0.25, seed=2018
+        )
+    finally:
+        Network.deliver_local = original_deliver
+    return (
+        digest.hexdigest(),
+        result.roi_cycles,
+        result.network_packets,
+        int(result.extra["sim_events"]),
+    )
+
+
+class TestGoldenFig12:
+    @pytest.mark.parametrize(
+        "bench,mechanism", sorted(GOLDEN_RUNS), ids="/".join
+    )
+    def test_pinned_fingerprint(self, bench, mechanism):
+        assert fingerprint_run(bench, mechanism) == \
+            GOLDEN_RUNS[(bench, mechanism)]
+
+    def test_back_to_back_runs_identical(self):
+        """Same config + seed => identical fingerprint within a process
+        (no hidden global state in the optimized fast paths)."""
+        first = fingerprint_run("bwaves", "original")
+        second = fingerprint_run("bwaves", "original")
+        assert first == second
+
+
+class TestGoldenFlit:
+    def test_pinned_flit_fingerprint(self):
+        sim = Simulator()
+        net = FlitNetwork(sim, NocConfig(width=8, height=8))
+        rng = make_rng(11, "perf/flit")
+        nodes = net.mesh.num_nodes
+        for i in range(1200):
+            src = rng.randrange(nodes)
+            dst = rng.randrange(nodes)
+            while dst == src:
+                dst = rng.randrange(nodes)
+            length = 8 if i % 4 == 0 else 1
+            sim.schedule_at(i // 2, net.send, src, dst, length)
+        sim.run(until=2_000_000)
+        digest = hashlib.md5()
+        for p in net.delivered:
+            digest.update(
+                b"%d,%d,%d,%d,%d;"
+                % (p.src, p.dst, p.length, p.injected_cycle,
+                   p.delivered_cycle)
+            )
+        assert (digest.hexdigest(), sim.events_processed,
+                len(net.delivered)) == GOLDEN_FLIT
+
+
+class TestFlitPacketParity:
+    """The packet model's latency must stay within 2x of the detailed
+    flit model (same shapes as ``benchmarks/bench_noc_validation.py``)."""
+
+    @pytest.mark.parametrize(
+        "src,dst,length", [(0, 63, 1), (0, 63, 8), (27, 36, 1)]
+    )
+    def test_zero_load_latency_agreement(self, src, dst, length):
+        fsim = Simulator()
+        fnet = FlitNetwork(fsim, NocConfig(width=8, height=8))
+        fpkt = fnet.send(src, dst, length)
+        fsim.run(until=100_000)
+
+        psim = Simulator()
+        pnet = Network(psim, NocConfig(width=8, height=8))
+        for n in range(64):
+            pnet.register_endpoint(n, lambda p: None)
+        ppkt = pnet.send(src, dst, "x", size_flits=length)
+        psim.run()
+
+        assert fpkt.latency > 0 and ppkt.latency > 0
+        ratio = ppkt.latency / fpkt.latency
+        assert 0.5 <= ratio <= 2.0, (src, dst, length, fpkt.latency,
+                                     ppkt.latency)

@@ -23,6 +23,26 @@ class TestScheduling:
         sim.run()
         assert fired == list(range(10))
 
+    def test_same_cycle_fifo_across_fast_and_cancellable(self):
+        """Fast tuple entries and cancellable Event entries scheduled for
+        the same cycle still interleave in submission (seq) order."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(4, fired.append, "fast0")
+        sim.schedule_cancellable(4, fired.append, "timer0")
+        sim.schedule(4, fired.append, "fast1")
+        sim.schedule_cancellable(4, fired.append, "timer1")
+        sim.run()
+        assert fired == ["fast0", "timer0", "fast1", "timer1"]
+
+    def test_schedule_passes_args(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(2, lambda a, b, c: got.append((a, b, c)), 1, "x", None)
+        sim.schedule(3, got.append, "bound")
+        sim.run()
+        assert got == [(1, "x", None), "bound"]
+
     def test_zero_delay_fires_same_cycle(self):
         sim = Simulator()
         seen = {}
@@ -36,6 +56,8 @@ class TestScheduling:
         sim = Simulator()
         with pytest.raises(SimulationError):
             sim.schedule(-1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_cancellable(-1, lambda: None)
 
     def test_schedule_at_absolute_cycle(self):
         sim = Simulator()
@@ -65,6 +87,20 @@ class TestExecution:
         assert fired == ["a", "b"]
         assert sim.cycle == 10
 
+    def test_run_until_pushback_is_exact(self):
+        """Pausing at ``until`` keeps the future event intact: resuming
+        fires it at exactly its original cycle, FIFO order preserved."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append(("x", sim.cycle)))
+        sim.schedule(100, lambda: fired.append(("y", sim.cycle)))
+        for pause in (10, 50, 99):
+            sim.run(until=pause)
+            assert sim.cycle == pause
+            assert fired == []
+        sim.run()
+        assert fired == [("x", 100), ("y", 100)]
+
     def test_run_until_advances_clock_when_queue_drains(self):
         sim = Simulator()
         sim.schedule(2, lambda: None)
@@ -79,6 +115,17 @@ class TestExecution:
             sim.stop()
         sim.schedule(1, stopper)
         sim.schedule(2, lambda: fired.append("late"))
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_stop_halts_within_same_cycle_batch(self):
+        sim = Simulator()
+        fired = []
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+        sim.schedule(3, stopper)
+        sim.schedule(3, lambda: fired.append("same-cycle-later"))
         sim.run()
         assert fired == ["stop"]
 
@@ -101,14 +148,31 @@ class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()
         fired = []
-        event = sim.schedule(5, lambda: fired.append("x"))
+        event = sim.schedule_cancellable(5, lambda: fired.append("x"))
         event.cancel()
         sim.run()
         assert fired == []
 
+    def test_cancellable_fires_with_args(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_cancellable(5, fired.append, "payload")
+        sim.run()
+        assert fired == ["payload"]
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_cancellable(1, fired.append, "once")
+        sim.run()
+        event.cancel()  # must not corrupt the corpse accounting
+        assert fired == ["once"]
+        assert sim.live_pending_events == 0
+        assert sim.pending_events == 0
+
     def test_peek_next_cycle_skips_cancelled(self):
         sim = Simulator()
-        first = sim.schedule(1, lambda: None)
+        first = sim.schedule_cancellable(1, lambda: None)
         sim.schedule(9, lambda: None)
         first.cancel()
         assert sim.peek_next_cycle() == 9
@@ -120,11 +184,86 @@ class TestCancellation:
     def test_drain_returns_live_events(self):
         sim = Simulator()
         sim.schedule(1, lambda: None)
-        dead = sim.schedule(2, lambda: None)
+        dead = sim.schedule_cancellable(2, lambda: None)
         dead.cancel()
         pending = sim.drain()
         assert len(pending) == 1
         assert sim.pending_events == 0
+        assert sim.live_pending_events == 0
+
+    def test_drain_preserves_args(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(3, got.append, "early")
+        sim.schedule_cancellable(7, got.append, "late")
+        pending = sim.drain()
+        assert [cycle for cycle, _ in pending] == [3, 7]
+        for _, fn in pending:
+            fn()
+        assert got == ["early", "late"]
+
+    def test_live_pending_counts_only_live(self):
+        """pending_events includes lazily-deleted corpses;
+        live_pending_events does not."""
+        sim = Simulator()
+        events = [sim.schedule_cancellable(10, lambda: None)
+                  for _ in range(8)]
+        sim.schedule(10, lambda: None)
+        for event in events[:3]:
+            event.cancel()
+        assert sim.pending_events == 9
+        assert sim.live_pending_events == 6
+
+
+class TestCompaction:
+    def test_retry_storm_triggers_compaction(self):
+        """Threshold-triggered compaction bounds corpse accumulation
+        (the lock-retry-storm pathology: cancel + re-arm in a loop)."""
+        sim = Simulator()
+        storm = 10 * Simulator.COMPACT_MIN_CANCELLED
+        for _ in range(storm):
+            sim.schedule_cancellable(1000, lambda: None).cancel()
+        assert sim.compactions >= 1
+        # corpses never exceed ~threshold once live events are few
+        assert sim.pending_events < 2 * Simulator.COMPACT_MIN_CANCELLED
+        assert sim.live_pending_events == 0
+
+    def test_compaction_preserves_order_and_liveness(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(500, lambda: fired.append("fast"))
+        keeper = sim.schedule_cancellable(400, fired.append, "keeper")
+        for _ in range(5 * Simulator.COMPACT_MIN_CANCELLED):
+            sim.schedule_cancellable(1000, lambda: None).cancel()
+        assert sim.compactions >= 1
+        assert keeper.cancelled is False
+        sim.run()
+        assert fired == ["keeper", "fast"]
+
+    def test_cancel_during_compacted_state_is_safe(self):
+        """Cancelling an event the compactor already reaped must not
+        corrupt the corpse counter (no negative live counts)."""
+        sim = Simulator()
+        victims = [sim.schedule_cancellable(1000, lambda: None)
+                   for _ in range(3 * Simulator.COMPACT_MIN_CANCELLED)]
+        for event in victims:
+            event.cancel()
+        assert sim.compactions >= 1
+        # double-cancel every victim after compaction reaped them
+        for event in victims:
+            event.cancel()
+        assert sim.live_pending_events >= 0
+        assert sim.live_pending_events == sim.pending_events - sim._cancelled
+        sim.schedule(1, lambda: None)
+        assert sim.run() == 1
+
+    def test_cancellation_of_event_popped_by_peek(self):
+        sim = Simulator()
+        event = sim.schedule_cancellable(5, lambda: None)
+        event.cancel()
+        assert sim.peek_next_cycle() is None
+        event.cancel()  # corpse already reaped by peek
+        assert sim.live_pending_events == 0
 
 
 class TestEventOrdering:

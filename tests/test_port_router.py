@@ -7,10 +7,11 @@ from repro.noc import Network, OutputPort, Packet, Router
 from repro.sim import Simulator
 
 
-def make_network(width=4, height=4, priority=False):
+def make_network(width=4, height=4, priority=False, record_traces=False):
     sim = Simulator()
     net = Network(sim, NocConfig(width=width, height=height),
-                  priority_arbitration=priority)
+                  priority_arbitration=priority,
+                  record_traces=record_traces)
     return sim, net
 
 
@@ -115,12 +116,24 @@ class TestNetworkDelivery:
         assert got == ["self"]
 
     def test_trace_records_xy_path(self):
-        sim, net = make_network(4, 4)
+        sim, net = make_network(4, 4, record_traces=True)
         for n in range(16):
             net.register_endpoint(n, lambda p: None)
         pkt = net.send(0, 10, "x")
         sim.run()
         assert pkt.trace == net.mesh.xy_route(0, 10)
+        assert pkt.hops == len(pkt.trace)
+
+    def test_hops_counted_without_tracing(self):
+        """Tracing is off by default but hop counts are always kept."""
+        sim, net = make_network(4, 4)
+        for n in range(16):
+            net.register_endpoint(n, lambda p: None)
+        pkt = net.send(0, 10, "x")
+        sim.run()
+        assert pkt.trace == []
+        assert pkt.hops == len(net.mesh.xy_route(0, 10))
+        assert net.total_hops == pkt.hops - 1
 
     def test_duplicate_endpoint_rejected(self):
         sim, net = make_network()
