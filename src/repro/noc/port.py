@@ -56,6 +56,10 @@ class OutputPort(Component):
         touching the arbitration heap (the common uncontended case).
         """
         if not self._busy and not self._pending:
+            # The slow path transits the heap, so every request used to
+            # push depth to at least 1; keep that stat identical here.
+            if self.peak_queue_depth == 0:
+                self.peak_queue_depth = 1
             self._grant(packet, on_granted)
             return
         priority = packet.priority if self.priority_aware else 0

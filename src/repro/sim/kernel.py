@@ -220,15 +220,23 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (threshold-triggered)."""
+        """Drop cancelled entries and re-heapify (threshold-triggered).
+
+        Rebuilds the queue *in place*: :meth:`run` iterates through a
+        local alias of the queue list, so rebinding ``self._queue`` here
+        (e.g. when a TTL cancel inside an event callback triggers
+        compaction mid-run) would strand every subsequently scheduled
+        event in a list the run loop never reads.
+        """
+        queue = self._queue
         live: List[_Entry] = []
-        for entry in self._queue:
+        for entry in queue:
             if len(entry) == 3 and entry[2].cancelled:
                 entry[2]._dead = True
             else:
                 live.append(entry)
-        self._queue = live
-        heapq.heapify(live)
+        queue[:] = live
+        heapq.heapify(queue)
         self._cancelled = 0
         self.compactions += 1
 

@@ -257,6 +257,30 @@ class TestCompaction:
         sim.schedule(1, lambda: None)
         assert sim.run() == 1
 
+    def test_compaction_inside_run_keeps_new_events_live(self):
+        """Compaction triggered from *inside* an event callback (the
+        barrier-TTL-cancel path during a lock-retry storm) must not
+        strand events scheduled afterwards: run() iterates a local alias
+        of the queue, so _compact() has to rebuild it in place."""
+        sim = Simulator()
+        fired = []
+        victims = [sim.schedule_cancellable(1000, lambda: None)
+                   for _ in range(3 * Simulator.COMPACT_MIN_CANCELLED)]
+
+        def storm():
+            for event in victims:
+                event.cancel()
+            assert sim.compactions >= 1
+            sim.schedule(5, fired.append, "after-compaction")
+
+        sim.schedule(1, storm)
+        final = sim.run()
+        assert fired == ["after-compaction"]
+        assert final == 6
+        assert sim._cancelled >= 0
+        assert sim.live_pending_events == 0
+        assert sim.pending_events == 0
+
     def test_cancellation_of_event_popped_by_peek(self):
         sim = Simulator()
         event = sim.schedule_cancellable(5, lambda: None)
