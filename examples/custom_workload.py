@@ -9,7 +9,8 @@ costs and what iNPG recovers.
 Run:  python examples/custom_workload.py
 """
 
-from repro import ManyCoreSystem, SystemConfig, Workload
+from repro import api
+from repro.api import SystemConfig, Workload
 from repro.workloads import WorkItem
 
 
@@ -45,9 +46,7 @@ def main() -> None:
     results = {}
     for mechanism in ("original", "inpg"):
         cfg = base.with_mechanism(mechanism)
-        results[mechanism] = ManyCoreSystem(
-            cfg, workload, primitive="qsl"
-        ).run()
+        results[mechanism] = api.simulate(cfg, workload, primitive="qsl")
     orig, inpg = results["original"], results["inpg"]
     print("Pipelined workload: 1 hot dispatch lock + 4 stage locks\n")
     print(f"{'':<22}{'Original':>12}{'iNPG':>12}")

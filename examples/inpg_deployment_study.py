@@ -11,7 +11,7 @@ Run:  python examples/inpg_deployment_study.py
 
 from dataclasses import replace
 
-from repro import Executor, RunSpec, SystemConfig
+from repro.api import Executor, RunSpec, SystemConfig
 from repro.config import InpgConfig
 from repro.synthesis import chip_summary
 

@@ -9,7 +9,8 @@ Figure 2 / Figure 13 orderings are visible from a single script.
 Run:  python examples/lock_comparison.py
 """
 
-from repro import Executor, RunSpec, SystemConfig
+from repro import api
+from repro.api import RunSpec, SystemConfig
 from repro.locks import PRIMITIVES
 
 LABELS = {"tas": "TAS", "ticket": "TTL", "abql": "ABQL",
@@ -19,7 +20,6 @@ LABELS = {"tas": "TAS", "ticket": "TTL", "abql": "ABQL",
 def main() -> None:
     base = SystemConfig()
     home = base.noc.node_at(5, 6)
-    executor = Executor()
     specs = {
         (primitive, mech): RunSpec.microbench(
             home_node=home, cs_per_thread=2, cs_cycles=100,
@@ -29,7 +29,8 @@ def main() -> None:
         for primitive in PRIMITIVES
         for mech in ("original", "inpg")
     }
-    results = executor.run(list(specs.values()))
+    ordered = list(specs.values())
+    results = dict(zip(ordered, api.run_plan(ordered)))
     print("64 threads competing for one lock homed at core (5,6):\n")
     header = (
         f"{'primitive':<10} {'ROI (orig)':>11} {'ROI (iNPG)':>11} "

@@ -10,7 +10,7 @@ run, quantifying what the packet model's simplifications cost.
 Run:  python examples/noc_fidelity_study.py
 """
 
-from repro import Executor, RunSpec, SystemConfig
+from repro.api import Executor, RunSpec, SystemConfig
 from repro.config import NocConfig
 from repro.noc import Network, latency_load_curve
 from repro.noc.flitsim import FlitNetwork

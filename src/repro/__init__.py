@@ -5,19 +5,38 @@ Yao & Lu, HPCA 2018.
 Public API
 ==========
 
-* :class:`SystemConfig` — platform configuration (Table 1 defaults).
-* :class:`ManyCoreSystem` / :func:`run_benchmark` — build and run one
-  simulated ROI, returning a :class:`RunResult`.
-* :func:`generate_workload` — synthetic PARSEC / SPEC OMP2012 workloads.
-* :class:`RunSpec` / :class:`Executor` — declarative run plans with
-  persistent caching and process-parallel execution (``repro.exec``).
-* ``repro.locks`` — TAS, ticket, ABQL, MCS and queue spin-lock primitives.
-* ``repro.inpg`` — big routers and the locking barrier table.
-* ``repro.experiments`` — one module per paper table/figure.
+The supported, stable entry point is :mod:`repro.api`::
+
+    from repro import api
+
+    result = api.simulate(config, workload, primitive="qsl")
+    results = api.run_plan(specs, jobs=4)
+    with api.trace(out="t.json") as obs:
+        api.simulate(config, workload, "tas", observe=obs)
+
+Its surface:
+
+* :func:`repro.api.simulate` — build and run one simulated ROI,
+  returning a :class:`RunResult`; ``observe=`` wires in ``repro.obs``
+  counters/tracing.
+* :func:`repro.api.run_plan` — execute a plan of :class:`RunSpec` with
+  persistent caching and process-parallel workers.
+* :func:`repro.api.save_result` / :func:`repro.api.load_result` —
+  versioned lossless persistence of results.
+* :func:`repro.api.trace` — context-managed observability with Chrome
+  trace-event (Perfetto) export.
+
+The deeper modules remain importable (``repro.system``, ``repro.exec``,
+``repro.locks``, ``repro.inpg``, ``repro.obs``, ``repro.experiments`` —
+one module per paper table/figure) and the deep import paths used by
+pre-``repro.api`` code keep working; prefer ``repro.api`` in new code,
+as the internals' constructor signatures may grow over time.
 """
 
+from . import api
 from .config import MECHANISMS, SystemConfig
 from .exec import Executor, RunSpec
+from .obs import Observation
 from .stats.metrics import RunResult, ThreadMetrics
 from .system import DeadlockError, ManyCoreSystem, run_benchmark
 from .workloads.generator import (
@@ -33,12 +52,14 @@ __all__ = [
     "Executor",
     "MECHANISMS",
     "ManyCoreSystem",
+    "Observation",
     "RunResult",
     "RunSpec",
     "SystemConfig",
     "ThreadMetrics",
     "Workload",
     "__version__",
+    "api",
     "generate_workload",
     "run_benchmark",
     "single_lock_workload",

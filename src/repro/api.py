@@ -1,0 +1,170 @@
+"""``repro.api``: the stable public facade of the reproduction library.
+
+Everything a consumer needs lives behind four calls::
+
+    from repro import api
+
+    # one run
+    config = api.SystemConfig().with_mechanism("inpg")
+    workload = api.generate_workload("kdtree", num_threads=64, mesh_nodes=64)
+    result = api.simulate(config, workload, primitive="tas")
+
+    # one run, observed (counters + structured trace + Perfetto export)
+    with api.trace(out="trace.json") as obs:
+        result = api.simulate(config, workload, "tas", observe=obs)
+    print(obs.contention_report())
+
+    # a cached, parallel run plan
+    specs = [api.RunSpec(benchmark="kdtree", mechanism=m, primitive="qsl")
+             for m in ("original", "inpg")]
+    results = api.run_plan(specs, jobs=2)
+
+    # persistence
+    api.save_result(result, "run.json")
+    result = api.load_result("run.json")
+
+The deep import paths (``repro.system.ManyCoreSystem``,
+``repro.exec.Executor``, ``repro.stats.serialize`` …) keep working and
+are not going away, but they expose assembly internals whose signatures
+may grow; this module is the interface the experiment harnesses, CLIs
+and docs are written against, and its signatures are stable.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .config import MECHANISMS, SystemConfig
+from .exec import Executor, RunSpec
+from .obs import DEFAULT_CAPACITY, Observation
+from .stats.metrics import RunResult
+from .stats.serialize import deserialize_run_result, serialize_run_result
+from .system import DeadlockError, ManyCoreSystem, run_benchmark
+from .workloads.generator import (
+    Workload,
+    generate_workload,
+    single_lock_workload,
+)
+
+__all__ = [
+    "DeadlockError",
+    "Executor",
+    "MECHANISMS",
+    "ManyCoreSystem",
+    "Observation",
+    "RunResult",
+    "RunSpec",
+    "SystemConfig",
+    "Workload",
+    "generate_workload",
+    "load_result",
+    "run_benchmark",
+    "run_plan",
+    "save_result",
+    "simulate",
+    "single_lock_workload",
+    "trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Single runs
+# ----------------------------------------------------------------------
+def simulate(
+    config: SystemConfig,
+    workload: Workload,
+    primitive: str = "qsl",
+    *,
+    observe: Optional[Observation] = None,
+    max_cycles: int = 50_000_000,
+) -> RunResult:
+    """Assemble one many-core system, run its ROI, return the result.
+
+    ``observe`` wires a :class:`repro.obs.Observation` into the system at
+    build time (hierarchical counters and, by default, the structured
+    trace ring); observed and unobserved runs of the same inputs are
+    bit-exact.  Raises :class:`DeadlockError` if the ROI does not finish
+    within ``max_cycles``.
+    """
+    system = ManyCoreSystem(config, workload, primitive=primitive,
+                            observe=observe)
+    return system.run(max_cycles=max_cycles)
+
+
+@contextmanager
+def trace(
+    out=None,
+    *,
+    capacity: int = DEFAULT_CAPACITY,
+    label: str = "run",
+    metadata: Optional[Dict] = None,
+) -> Iterator[Observation]:
+    """Context manager around an :class:`Observation` for one run.
+
+    Yields an unattached observation to pass to :func:`simulate` (or any
+    ``observe=`` parameter).  On clean exit, writes the run as a Chrome
+    trace-event JSON file to ``out`` when given — viewable in Perfetto
+    or ``chrome://tracing``.
+
+    ::
+
+        with api.trace(out="t.json", label="inpg/tas") as obs:
+            api.simulate(config, workload, "tas", observe=obs)
+    """
+    obs = Observation(trace=True, trace_capacity=capacity, label=label)
+    yield obs
+    if out is not None and obs.attached:
+        obs.write_chrome_trace(out, metadata=metadata)
+
+
+# ----------------------------------------------------------------------
+# Run plans
+# ----------------------------------------------------------------------
+def run_plan(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[bool, str, None] = True,
+    observe_factory=None,
+) -> List[RunResult]:
+    """Execute a plan of :class:`RunSpec`, results in input order.
+
+    ``jobs`` is the worker-process count (``None``: the ``REPRO_JOBS``
+    environment variable, else 1; ``0``: one per CPU).  ``cache`` is
+    ``True`` for the default persistent cache directory, a path string
+    for an explicit one, or ``False``/``None`` to disable caching.
+    ``observe_factory`` (``spec -> Observation``) makes every unique
+    spec run inline and uncached with observability wired in; fetch each
+    observation with ``Executor.observation_for`` by building the
+    :class:`Executor` yourself when you need them.
+    """
+    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+        executor = Executor(jobs=jobs, cache_dir=cache,
+                            observe_factory=observe_factory)
+    else:
+        executor = Executor(jobs=jobs, use_cache=bool(cache),
+                            observe_factory=observe_factory)
+    by_spec = executor.run(list(specs))
+    return [by_spec[spec] for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def save_result(result: RunResult, path) -> None:
+    """Write ``result`` losslessly as versioned JSON (see ``load_result``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(serialize_run_result(result), fh, separators=(",", ":"))
+        fh.write("\n")
+
+
+def load_result(path) -> RunResult:
+    """Read a :func:`save_result` file back into a :class:`RunResult`.
+
+    Raises ``ValueError`` when the file was written under a different
+    ``RESULT_SCHEMA_VERSION``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        return deserialize_run_result(json.load(fh))

@@ -6,6 +6,7 @@ Examples::
     inpg-sim kdtree --mechanism inpg --primitive tas
     inpg-sim nab --mechanism inpg+ocor --json
     inpg-sim microbench --threads 64 --home 53 --gantt
+    inpg-sim kdtree --mechanism inpg --trace --trace-out t.json
 """
 
 from __future__ import annotations
@@ -53,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the full result as JSON")
     parser.add_argument("--gantt", action="store_true",
                         help="render a Figure 9-style phase timeline")
+    parser.add_argument("--trace", action="store_true",
+                        help="observe the run (counters + structured "
+                             "trace); bypasses the result cache")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON (Perfetto) "
+                             "file (implies --trace)")
     parser.add_argument("--list", action="store_true",
                         help="list benchmark names and exit")
     return parser
@@ -86,7 +93,21 @@ def main(argv=None) -> int:
             scale=args.scale,
             seed=args.seed,
         )
-    result = executor.run_one(spec)
+    traced = args.trace or args.trace_out is not None
+    observe = None
+    if traced:
+        from .exec.executor import execute_spec
+        from .obs import Observation
+
+        observe = Observation(
+            label=f"{args.benchmark}[{args.mechanism}/{primitive}]"
+        )
+        # observed runs execute inline and never touch the cache: cached
+        # results carry no trace ring, and traced payloads must not leak
+        # into unobserved plans.
+        result = execute_spec(spec, observe=observe)
+    else:
+        result = executor.run_one(spec)
     if args.json:
         print(json.dumps(run_result_to_dict(result), indent=2))
     else:
@@ -99,6 +120,14 @@ def main(argv=None) -> int:
         window = (0, min(30_000, result.roi_cycles))
         print()
         print(render_gantt(result.timeline, threads, window=window))
+    if observe is not None:
+        print()
+        print(observe.contention_report())
+        if args.trace_out is not None:
+            observe.write_chrome_trace(args.trace_out)
+            n = len(observe.records())
+            print(f"\ntrace: {n:,} records "
+                  f"({observe.tracer.dropped:,} dropped) -> {args.trace_out}")
     return 0
 
 

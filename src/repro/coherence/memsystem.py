@@ -42,9 +42,18 @@ _DIR_TYPES = frozenset(
 _REQUEST_TYPES = frozenset({MessageType.GETS, MessageType.GETX})
 RESPONSE_PRIORITY = 100
 
+#: the lock-critical message classes worth a trace record (the ones iNPG
+#: acts on); tracing every GetS/Data would swamp the ring buffer.
+_TRACED_TYPES = frozenset(
+    {MessageType.GETX, MessageType.INV, MessageType.INV_ACK}
+)
+
 
 class MemorySystem(Component):
     """The full cache-coherent memory hierarchy of the many-core."""
+
+    #: trace emitter; rebound by ``repro.obs.Observation.attach``.
+    _trace = None
 
     def __init__(
         self,
@@ -190,6 +199,10 @@ class MemorySystem(Component):
         priority = (
             msg.priority if msg.mtype in _REQUEST_TYPES else RESPONSE_PRIORITY
         )
+        tr = self._trace
+        if tr is not None and msg.mtype in _TRACED_TYPES:
+            tr(f"core/{src}", "coh.send", mtype=msg.mtype.value, dst=dst,
+               addr=msg.addr, requester=msg.requester)
         self.network.send(src, dst, msg, size_flits=size, priority=priority)
 
     def _make_endpoint(self, node: int) -> Callable[[Packet], None]:
@@ -197,6 +210,10 @@ class MemorySystem(Component):
             msg = packet.payload
             if not isinstance(msg, CoherenceMessage):
                 raise RuntimeError(f"unexpected payload at node {node}: {msg!r}")
+            tr = self._trace
+            if tr is not None and msg.mtype in _TRACED_TYPES:
+                tr(f"core/{node}", "coh.recv", mtype=msg.mtype.value,
+                   src=packet.src, addr=msg.addr, requester=msg.requester)
             if msg.mtype in _DIR_TYPES:
                 self.dirs[node].handle(msg)
             elif msg.dest_is_home and msg.mtype in (

@@ -29,6 +29,9 @@ WakeCallback = Callable[[], None]
 class OsModel(Component):
     """Per-run OS scheduler state for sleeping lock waiters."""
 
+    #: trace emitter; rebound by ``repro.obs.Observation.attach``.
+    _trace = None
+
     def __init__(self, sim: Simulator, config: OsConfig, memsys: "MemorySystem"):
         super().__init__(sim, "os")
         self.config = config
@@ -54,6 +57,9 @@ class OsModel(Component):
         self.sleeps += 1
         queue = self._wait_queues.setdefault(lock_id, deque())
         queue.append((core, on_wake))
+        tr = self._trace
+        if tr is not None:
+            tr("os", "os.sleep", core=core, lock=lock_id, queued=len(queue))
         # Lost-wakeup guard: the lock may have been freed while we were
         # switching out, with nobody left to notify us.
         if self.memsys.read(lock_addr) == 0:
@@ -71,6 +77,10 @@ class OsModel(Component):
         self.wakeups += 1
         if self_wake:
             self.self_wakeups += 1
+        tr = self._trace
+        if tr is not None:
+            tr("os", "os.wake", core=_core, lock=lock_id,
+               self_wake=int(self_wake))
         self.after(self.config.wakeup_cycles, on_wake)
 
     def sleeping_count(self, lock_id: int) -> int:

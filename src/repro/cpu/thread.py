@@ -22,6 +22,9 @@ if TYPE_CHECKING:  # pragma: no cover
 class WorkerThread(Component):
     """One software thread pinned to one core (as in the paper)."""
 
+    #: trace emitter; rebound by ``repro.obs.Observation.attach``.
+    _trace = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -49,12 +52,19 @@ class WorkerThread(Component):
 
     # ------------------------------------------------------------------
     def _next_item(self) -> None:
+        tr = self._trace
         if self._index >= len(self.items):
             self.done = True
+            if tr is not None:
+                tr(f"core/{self.core}", "thread.done",
+                   thread=self.thread_id, cs_completed=self.metrics.cs_completed)
             self.on_done(self.thread_id)
             return
         item = self.items[self._index]
         self._index += 1
+        if tr is not None:
+            tr(f"core/{self.core}", "phase.parallel", thread=self.thread_id,
+               item=self._index - 1)
         self.timeline.begin(self.thread_id, "parallel", self.now)
         start = self.now
         self.after(
@@ -63,6 +73,10 @@ class WorkerThread(Component):
 
     def _enter_competition(self, item: WorkItem, parallel_start: int) -> None:
         self.metrics.parallel_cycles += self.now - parallel_start
+        tr = self._trace
+        if tr is not None:
+            tr(f"core/{self.core}", "phase.coh", thread=self.thread_id,
+               lock=item.lock_index)
         self.timeline.begin(self.thread_id, "coh", self.now)
         coh_start = self.now
         lock = self.locks[item.lock_index]
@@ -70,6 +84,10 @@ class WorkerThread(Component):
 
     def _enter_cs(self, item: WorkItem, lock, coh_start: int) -> None:
         self.metrics.coh_cycles += self.now - coh_start
+        tr = self._trace
+        if tr is not None:
+            tr(f"core/{self.core}", "phase.cse", thread=self.thread_id,
+               lock=item.lock_index, coh_cycles=self.now - coh_start)
         self.timeline.begin(self.thread_id, "cse", self.now)
         cse_start = self.now
         self.after(

@@ -61,8 +61,13 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 # ----------------------------------------------------------------------
 # Spec execution (shared by the in-process path and pool workers)
 # ----------------------------------------------------------------------
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one simulation exactly as its spec describes it."""
+def execute_spec(spec: RunSpec, observe=None) -> RunResult:
+    """Run one simulation exactly as its spec describes it.
+
+    ``observe`` (a :class:`repro.obs.Observation`) wires observability
+    into the assembled system; it never enters the spec's fingerprint —
+    traced and untraced runs of one spec are bit-exact.
+    """
     from ..system import ManyCoreSystem, run_benchmark
 
     cfg = spec.resolved_config()
@@ -75,7 +80,9 @@ def execute_spec(spec: RunSpec) -> RunResult:
             home_node=home,
             **spec.microbench_params(),
         )
-        system = ManyCoreSystem(cfg, workload, primitive=spec.primitive)
+        system = ManyCoreSystem(
+            cfg, workload, primitive=spec.primitive, observe=observe
+        )
         return system.run(max_cycles=spec.max_cycles)
     return run_benchmark(
         spec.benchmark,
@@ -86,6 +93,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
         scale=spec.scale,
         lock_homes=spec.lock_homes,
         max_cycles=spec.max_cycles,
+        observe=observe,
     )
 
 
@@ -188,6 +196,7 @@ class Executor:
         cache: Optional[Union[ResultCache, NullCache]] = None,
         cache_dir: Optional[os.PathLike] = None,
         use_cache: bool = True,
+        observe_factory=None,
     ):
         self.jobs = resolve_jobs(jobs)
         if cache is not None:
@@ -198,6 +207,12 @@ class Executor:
             self.cache = NullCache()
         self.stats = ExecStats()
         self._memory: Dict[str, RunResult] = {}
+        #: ``spec -> Observation`` factory.  When set, every unique spec
+        #: executes inline, in-process, bypassing both cache directions:
+        #: disk results carry no trace ring, and traced results must not
+        #: be written back where unobserved plans would pick them up.
+        self.observe_factory = observe_factory
+        self.observations: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def run(self, plan: Sequence[RunSpec]) -> Dict[RunSpec, RunResult]:
@@ -211,18 +226,25 @@ class Executor:
             else:
                 todo[fp] = spec
 
-        missing = self._load_from_disk(todo)
-        if missing:
-            if self.jobs > 1 and len(missing) > 1:
-                self._run_pool(missing)
-            else:
-                self._run_inline(missing)
+        if self.observe_factory is not None:
+            self._run_observed(todo)
+        else:
+            missing = self._load_from_disk(todo)
+            if missing:
+                if self.jobs > 1 and len(missing) > 1:
+                    self._run_pool(missing)
+                else:
+                    self._run_inline(missing)
         return {
             spec: self._memory[fp] for spec, fp in zip(specs, fingerprints)
         }
 
     def run_one(self, spec: RunSpec) -> RunResult:
         return self.run([spec])[spec]
+
+    def observation_for(self, spec: RunSpec):
+        """The Observation wired into ``spec``'s run (observed plans only)."""
+        return self.observations.get(spec.fingerprint)
 
     def clear_memory(self) -> None:
         """Drop the in-memory result table (the disk cache survives)."""
@@ -267,6 +289,24 @@ class Executor:
             start = time.perf_counter()
             result = execute_spec(spec)
             self._store(spec, fp, result, time.perf_counter() - start)
+
+    def _run_observed(self, todo: Dict[str, RunSpec]) -> None:
+        for fp, spec in todo.items():
+            observe = self.observe_factory(spec)
+            start = time.perf_counter()
+            result = execute_spec(spec, observe=observe)
+            wall = time.perf_counter() - start
+            self._memory[fp] = result
+            self.observations[fp] = observe
+            self.stats.record_run(
+                RunRecord(
+                    fingerprint=fp,
+                    label=spec.label(),
+                    wall_time=wall,
+                    sim_cycles=result.roi_cycles,
+                    sim_events=int(result.extra.get("sim_events", 0)),
+                )
+            )
 
     def _run_pool(self, missing: Dict[str, RunSpec]) -> None:
         workers = min(self.jobs, len(missing))

@@ -32,22 +32,26 @@ from . import (
     table1_config,
 )
 from .common import (
+    ExperimentOptions,
     benchmarks_for,
     cached_run,
     clear_cache,
     execute,
     format_table,
     get_executor,
+    resolve_options,
     run_mechanism_matrix,
     set_executor,
 )
 from .sweep import Sweep, SweepPoint, vary
 
 __all__ = [
+    "ExperimentOptions",
     "ablation_lco",
     "benchmarks_for",
     "cached_run",
     "execute",
+    "resolve_options",
     "get_executor",
     "run_mechanism_matrix",
     "set_executor",

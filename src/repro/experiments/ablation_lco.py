@@ -14,7 +14,12 @@ from typing import Dict, List, Tuple
 
 from ..config import CacheConfig, LockSpinConfig, SystemConfig
 from ..exec import RunSpec
-from .common import execute, format_table
+from .common import (
+    ExperimentOptions,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 #: (label, raw_spin, directory_nacks)
 VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
@@ -65,14 +70,15 @@ def _spec(raw_spin: bool, nacks: bool, mechanism: str) -> RunSpec:
     )
 
 
-def run() -> AblationResult:
+def run(options: "ExperimentOptions" = None) -> AblationResult:
+    opts = resolve_options(options)
     result = AblationResult()
     specs = {
         (label, mech): _spec(raw_spin, nacks, mech)
         for label, raw_spin, nacks in VARIANTS
         for mech in ("original", "inpg")
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for label, raw_spin, nacks in VARIANTS:
         base = results[specs[(label, "original")]]
         inpg = results[specs[(label, "inpg")]]

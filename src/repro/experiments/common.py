@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import os
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import MECHANISMS, SystemConfig
@@ -51,8 +52,61 @@ def set_executor(executor: Executor) -> Executor:
     return executor
 
 
-def execute(plan: Sequence[RunSpec]) -> Dict[RunSpec, RunResult]:
-    """Run a plan through the shared executor."""
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """The knobs every figure harness shares, in one keyword-only value.
+
+    Historically each ``run()`` grew its own ``quick=``/``scale=``
+    defaults; the unified signature is ``run(options=None, *, ...)``
+    with per-figure extras staying keyword-only.  The legacy ``quick=``
+    and ``scale=`` keywords remain accepted everywhere (see
+    :func:`resolve_options`), so pre-existing callers keep working.
+    """
+
+    #: representative 6-benchmark subset (False sweeps all 24 programs)
+    quick: bool = True
+    #: per-thread CS count multiplier
+    scale: float = 1.0
+    #: workload generation seed (the paper runs pin 2018)
+    seed: int = 2018
+
+    def benchmarks(self) -> List[str]:
+        return benchmarks_for(self.quick)
+
+
+def resolve_options(
+    options: Optional[ExperimentOptions] = None,
+    *,
+    quick: Optional[bool] = None,
+    scale: Optional[float] = None,
+) -> ExperimentOptions:
+    """Merge an options value with the legacy ``quick=``/``scale=`` kwargs.
+
+    Explicit legacy keywords win over the corresponding ``options``
+    field, matching what the old per-figure signatures did.
+    """
+    opts = options if options is not None else ExperimentOptions()
+    if quick is not None:
+        opts = replace(opts, quick=quick)
+    if scale is not None:
+        opts = replace(opts, scale=scale)
+    return opts
+
+
+def execute(
+    plan: Sequence[RunSpec],
+    *,
+    options: Optional[ExperimentOptions] = None,
+) -> Dict[RunSpec, RunResult]:
+    """Run a plan through the shared executor.
+
+    ``options`` is the harness's resolved :class:`ExperimentOptions`.
+    The spec fingerprints already capture everything that affects the
+    results, so today the shared layer only carries it; every harness
+    routing its options through here means plan-wide execution policy
+    has a single landing point instead of twelve.
+    """
+    del options  # carried for signature stability; specs are authoritative
     return get_executor().run(plan)
 
 
@@ -106,13 +160,23 @@ def clear_cache() -> None:
 
 
 def run_mechanism_matrix(
-    benchmarks: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
     mechanisms: Sequence[str] = MECHANISMS,
     primitive: str = "qsl",
-    scale: float = 1.0,
+    scale: Optional[float] = None,
     config: Optional[SystemConfig] = None,
+    *,
+    options: Optional[ExperimentOptions] = None,
 ) -> Dict[Tuple[str, str], RunResult]:
-    """The paper's four-case comparison over a benchmark list."""
+    """The paper's four-case comparison over a benchmark list.
+
+    ``benchmarks``/``scale`` default from ``options`` when omitted.
+    """
+    opts = options if options is not None else ExperimentOptions()
+    if benchmarks is None:
+        benchmarks = opts.benchmarks()
+    if scale is None:
+        scale = opts.scale
     specs = {
         (bench, mech): RunSpec(
             benchmark=bench,
@@ -124,7 +188,7 @@ def run_mechanism_matrix(
         for bench in benchmarks
         for mech in mechanisms
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     return {key: results[spec] for key, spec in specs.items()}
 
 

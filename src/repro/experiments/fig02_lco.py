@@ -13,7 +13,12 @@ from typing import Dict, List
 
 from ..exec import RunSpec
 from ..locks.factory import PRIMITIVES
-from .common import execute, format_table
+from .common import (
+    ExperimentOptions,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 #: paper's motivational benchmark trio
 BENCHMARKS = ("kdtree", "facesim", "fluidanimate")
@@ -67,15 +72,18 @@ class Fig2Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks=BENCHMARKS) -> Fig2Result:
+def run(options: "ExperimentOptions" = None, *, scale: float = None,
+        benchmarks=BENCHMARKS) -> Fig2Result:
+    opts = resolve_options(options, scale=scale)
     specs = {
         (bench, prim): RunSpec(
-            benchmark=bench, mechanism="original", primitive=prim, scale=scale
+            benchmark=bench, mechanism="original", primitive=prim,
+            scale=opts.scale,
         )
         for bench in benchmarks
         for prim in PRIMITIVES
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     result = Fig2Result()
     for (bench, prim), spec in specs.items():
         result.lco.setdefault(bench, {})[prim] = results[spec].lco_fraction

@@ -18,7 +18,7 @@ from ..synthesis import (
     packet_generator_gates,
     packet_generator_power_overhead,
 )
-from .common import format_table
+from .common import ExperimentOptions, format_table
 
 
 @dataclass
@@ -58,7 +58,9 @@ class Fig7Result:
         return table + "\n\n" + chip_table
 
 
-def run(table_entries: int = 16) -> Fig7Result:
+def run(options: "ExperimentOptions" = None,
+        table_entries: int = 16) -> Fig7Result:
+    del options  # synthesis accounting: no simulation to scale
     inpg = InpgConfig(
         enabled=True, num_big_routers=32, barrier_table_size=table_entries
     )

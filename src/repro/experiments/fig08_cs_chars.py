@@ -13,7 +13,12 @@ from typing import Dict, List
 
 from ..exec import RunSpec
 from ..workloads.profiles import get_profile, group_of
-from .common import benchmarks_for, execute, format_table
+from .common import (
+    ExperimentOptions,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 
 @dataclass
@@ -64,16 +69,18 @@ class Fig8Result:
         )
 
 
-def run(scale: float = 1.0, quick: bool = True) -> Fig8Result:
+def run(options: "ExperimentOptions" = None, *, scale: float = None,
+        quick: bool = None) -> Fig8Result:
+    opts = resolve_options(options, quick=quick, scale=scale)
     result = Fig8Result()
     specs = {
         bench: RunSpec(
             benchmark=bench, mechanism="original", primitive="qsl",
-            scale=scale,
+            scale=opts.scale,
         )
-        for bench in benchmarks_for(quick)
+        for bench in opts.benchmarks()
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for bench, spec in specs.items():
         profile = get_profile(bench)
         r = results[spec]

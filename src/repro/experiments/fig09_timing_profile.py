@@ -14,7 +14,12 @@ from typing import Dict, List, Tuple
 
 from ..config import MECHANISMS
 from ..exec import RunSpec
-from .common import execute, format_table
+from .common import (
+    ExperimentOptions,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 BENCHMARK = "freqmine"
 WINDOW_CYCLES = 30_000
@@ -77,18 +82,22 @@ class Fig9Result:
 
 
 def run(
-    scale: float = 1.0,
+    options: "ExperimentOptions" = None,
+    *,
+    scale: float = None,
     window_cycles: int = WINDOW_CYCLES,
     threads=THREADS_SHOWN,
 ) -> Fig9Result:
+    opts = resolve_options(options, scale=scale)
     result = Fig9Result(window=(0, window_cycles))
     specs = {
         mech: RunSpec(
-            benchmark=BENCHMARK, mechanism=mech, primitive="qsl", scale=scale
+            benchmark=BENCHMARK, mechanism=mech, primitive="qsl",
+            scale=opts.scale,
         )
         for mech in MECHANISMS
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for mech in MECHANISMS:
         r = results[specs[mech]]
         window = (0, min(window_cycles, r.roi_cycles))

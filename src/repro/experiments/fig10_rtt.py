@@ -18,7 +18,12 @@ from typing import Dict, List, Tuple
 from ..config import SystemConfig
 from ..exec import RunSpec
 from ..stats.histogram import Histogram
-from .common import execute, format_table
+from .common import (
+    ExperimentOptions,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 #: the paper's lock home: core (5,6) on the 8x8 mesh
 HOME_XY = (5, 6)
@@ -84,12 +89,16 @@ class Fig10Result:
         return "\n".join(parts)
 
 
-def run(cs_per_thread: int = 2, cs_cycles: int = 100,
-        parallel_cycles: int = 200, seed: int = 2018) -> Fig10Result:
+def run(options: "ExperimentOptions" = None, *, cs_per_thread: int = 2,
+        cs_cycles: int = 100, parallel_cycles: int = 200,
+        seed: int = None) -> Fig10Result:
     from dataclasses import replace
 
     from ..config import LockSpinConfig
 
+    opts = resolve_options(options)
+    if seed is None:
+        seed = opts.seed
     result = Fig10Result()
     # the paper's Algorithm 1 microbenchmark: spin on a local copy
     # (Lines 1-2), SWAP on observed-free (Lines 3-4) — i.e. TTAS
@@ -108,7 +117,7 @@ def run(cs_per_thread: int = 2, cs_cycles: int = 100,
         )
         for mech in ("original", "inpg")
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for mech in ("original", "inpg"):
         stats = results[specs[mech]].coherence
         hist = Histogram(bin_width=5)

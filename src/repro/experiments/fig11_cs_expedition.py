@@ -14,10 +14,11 @@ from typing import Dict, List
 
 from ..config import MECHANISMS
 from .common import (
+    ExperimentOptions,
     arithmetic_mean,
-    benchmarks_for,
     by_group,
     format_table,
+    resolve_options,
     run_mechanism_matrix,
 )
 
@@ -81,10 +82,12 @@ class Fig11Result:
         return "\n".join(lines)
 
 
-def run(scale: float = 1.0, quick: bool = True) -> Fig11Result:
+def run(options: "ExperimentOptions" = None, *, scale: float = None,
+        quick: bool = None) -> Fig11Result:
+    opts = resolve_options(options, quick=quick, scale=scale)
     result = Fig11Result()
-    benches = benchmarks_for(quick)
-    matrix = run_mechanism_matrix(benches, primitive="qsl", scale=scale)
+    benches = opts.benchmarks()
+    matrix = run_mechanism_matrix(benches, primitive="qsl", options=opts)
     for bench in benches:
         baseline = matrix[(bench, "original")]
         result.expedition[bench] = {

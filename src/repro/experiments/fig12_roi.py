@@ -13,10 +13,11 @@ from typing import Dict
 
 from ..config import MECHANISMS
 from .common import (
+    ExperimentOptions,
     arithmetic_mean,
-    benchmarks_for,
     by_group,
     format_table,
+    resolve_options,
     run_mechanism_matrix,
 )
 
@@ -88,10 +89,12 @@ class Fig12Result:
         return "\n".join(lines)
 
 
-def run(scale: float = 1.0, quick: bool = True) -> Fig12Result:
+def run(options: "ExperimentOptions" = None, *, scale: float = None,
+        quick: bool = None) -> Fig12Result:
+    opts = resolve_options(options, quick=quick, scale=scale)
     result = Fig12Result()
-    benches = benchmarks_for(quick)
-    matrix = run_mechanism_matrix(benches, primitive="qsl", scale=scale)
+    benches = opts.benchmarks()
+    matrix = run_mechanism_matrix(benches, primitive="qsl", options=opts)
     for bench in benches:
         baseline = matrix[(bench, "original")]
         result.relative_roi[bench] = {

@@ -13,7 +13,13 @@ from typing import Dict
 
 from ..exec import RunSpec
 from ..locks.factory import PRIMITIVES
-from .common import arithmetic_mean, benchmarks_for, execute, format_table
+from .common import (
+    ExperimentOptions,
+    arithmetic_mean,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 PAPER_REDUCTION = {
     "tas": 0.528, "ticket": 0.334, "abql": 0.326, "qsl": 0.199, "mcs": 0.165,
@@ -52,18 +58,20 @@ class Fig13Result:
         )
 
 
-def run(scale: float = 1.0, quick: bool = True) -> Fig13Result:
+def run(options: "ExperimentOptions" = None, *, scale: float = None,
+        quick: bool = None) -> Fig13Result:
+    opts = resolve_options(options, quick=quick, scale=scale)
     result = Fig13Result()
-    benches = benchmarks_for(quick)
+    benches = opts.benchmarks()
     specs = {
         (bench, prim, mech): RunSpec(
-            benchmark=bench, mechanism=mech, primitive=prim, scale=scale
+            benchmark=bench, mechanism=mech, primitive=prim, scale=opts.scale
         )
         for bench in benches
         for prim in PRIMITIVES
         for mech in ("original", "inpg")
     }
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for bench in benches:
         result.reduction[bench] = {}
         for prim in PRIMITIVES:

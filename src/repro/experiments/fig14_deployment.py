@@ -13,7 +13,13 @@ from typing import Dict, List, Sequence
 
 from ..config import SystemConfig
 from ..exec import RunSpec
-from .common import arithmetic_mean, benchmarks_for, execute, format_table
+from .common import (
+    ExperimentOptions,
+    arithmetic_mean,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 DEPLOYMENTS = (0, 4, 16, 32, 64)
 
@@ -46,11 +52,14 @@ class Fig14Result:
         )
 
 
-def run(scale: float = 1.0, quick: bool = True,
+def run(options: "ExperimentOptions" = None, *, scale: float = None,
+        quick: bool = None,
         deployments: Sequence[int] = DEPLOYMENTS) -> Fig14Result:
+    opts = resolve_options(options, quick=quick, scale=scale)
+    scale = opts.scale
     result = Fig14Result(deployments=deployments)
     base_cfg = SystemConfig()
-    benches = benchmarks_for(quick)
+    benches = opts.benchmarks()
     specs = {
         (bench, "baseline"): RunSpec(
             benchmark=bench, mechanism="original", primitive="qsl",
@@ -71,7 +80,7 @@ def run(scale: float = 1.0, quick: bool = True,
                 benchmark=bench, mechanism="inpg", primitive="qsl",
                 scale=scale, config=cfg,
             )
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for bench in benches:
         baseline = results[specs[(bench, "baseline")]]
         result.expedition[bench] = {}

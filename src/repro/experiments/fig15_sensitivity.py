@@ -15,7 +15,13 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..config import NocConfig, SystemConfig
 from ..exec import RunSpec
-from .common import arithmetic_mean, benchmarks_for, execute, format_table
+from .common import (
+    ExperimentOptions,
+    arithmetic_mean,
+    execute,
+    format_table,
+    resolve_options,
+)
 
 MESH_DIMS = (2, 4, 8, 16)
 TABLE_SIZES = (4, 16, 64)
@@ -49,13 +55,17 @@ class Fig15Result:
 
 
 def run(
-    scale: float = 1.0,
-    quick: bool = True,
+    options: "ExperimentOptions" = None,
+    *,
+    scale: float = None,
+    quick: bool = None,
     dims: Sequence[int] = MESH_DIMS,
     table_sizes: Sequence[int] = TABLE_SIZES,
 ) -> Fig15Result:
+    opts = resolve_options(options, quick=quick, scale=scale)
+    scale = opts.scale
     result = Fig15Result(dims=dims, table_sizes=table_sizes)
-    benches = benchmarks_for(quick)
+    benches = opts.benchmarks()
     specs = {}
     for dim in dims:
         num_nodes = dim * dim
@@ -84,7 +94,7 @@ def run(
                     benchmark=bench, mechanism="inpg", primitive="qsl",
                     scale=scale, config=cfg,
                 )
-    results = execute(list(specs.values()))
+    results = execute(list(specs.values()), options=opts)
     for dim in dims:
         for size in table_sizes:
             reductions = []

@@ -40,32 +40,26 @@ from . import (
     table1_config,
 )
 
-#: experiment name -> (module, takes quick kwarg, takes scale kwarg)
+#: experiment name -> module; every module's ``run()`` takes the unified
+#: ``ExperimentOptions`` (figures with nothing to sweep ignore it)
 EXPERIMENTS = {
-    "ablation": (ablation_lco, False, False),
-    "table1": (table1_config, False, False),
-    "fig2": (fig02_lco, False, True),
-    "fig7": (fig07_synthesis, False, False),
-    "fig8": (fig08_cs_chars, True, True),
-    "fig9": (fig09_timing_profile, False, True),
-    "fig10": (fig10_rtt, False, False),
-    "fig11": (fig11_cs_expedition, True, True),
-    "fig12": (fig12_roi, True, True),
-    "fig13": (fig13_primitives, True, True),
-    "fig14": (fig14_deployment, True, True),
-    "fig15": (fig15_sensitivity, True, True),
+    "ablation": ablation_lco,
+    "table1": table1_config,
+    "fig2": fig02_lco,
+    "fig7": fig07_synthesis,
+    "fig8": fig08_cs_chars,
+    "fig9": fig09_timing_profile,
+    "fig10": fig10_rtt,
+    "fig11": fig11_cs_expedition,
+    "fig12": fig12_roi,
+    "fig13": fig13_primitives,
+    "fig14": fig14_deployment,
+    "fig15": fig15_sensitivity,
 }
 
 
-def run_one(name: str, quick: bool, scale: float = 1.0) -> str:
-    module, takes_quick, takes_scale = EXPERIMENTS[name]
-    kwargs = {}
-    if takes_quick:
-        kwargs["quick"] = quick
-    if takes_scale:
-        kwargs["scale"] = scale
-    result = module.run(**kwargs)
-    return result.render()
+def run_one(name: str, options: common.ExperimentOptions) -> str:
+    return EXPERIMENTS[name].run(options).render()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default REPRO_CACHE_DIR or "
              ".repro-cache/)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="observe every run (counters + structured trace); forces "
+             "inline, uncached execution",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the combined Chrome trace-event JSON here "
+             "(implies --trace; default trace.json)",
+    )
     return parser
 
 
@@ -115,20 +119,34 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    traced = args.trace or args.trace_out is not None
+    observe_factory = None
+    if traced:
+        from ..obs import Observation
+
+        observe_factory = lambda spec: Observation(label=spec.label())  # noqa: E731
     executor = common.set_executor(
         Executor(
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            observe_factory=observe_factory,
         )
     )
-    quick = not args.full
+    options = common.ExperimentOptions(quick=not args.full, scale=args.scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
         print(f"=== {name} ===")
-        print(run_one(name, quick, scale=args.scale))
+        print(run_one(name, options))
         print(f"[{name} took {time.time() - start:.1f}s]\n")
+    if traced:
+        from ..obs import write_chrome_trace
+
+        out = args.trace_out or "trace.json"
+        runs = [obs.chrome_run() for obs in executor.observations.values()]
+        write_chrome_trace(out, runs)
+        print(f"trace: {len(runs)} observed runs -> {out}\n")
     cache_dir = (
         str(executor.cache.directory)
         if executor.cache.directory is not None

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import SystemConfig
-from .common import format_table
+from .common import ExperimentOptions, format_table
 
 
 @dataclass
@@ -59,7 +59,9 @@ class Table1Result:
         )
 
 
-def run(config: SystemConfig = None) -> Table1Result:
+def run(options: "ExperimentOptions" = None,
+        config: SystemConfig = None) -> Table1Result:
+    del options  # configuration table: nothing to sweep or scale
     return Table1Result(config=config or SystemConfig())
 
 

@@ -57,6 +57,11 @@ class LockingBarrierTable:
     paper sizes both at 16 by default).
     """
 
+    #: trace emitter + owning-router component label; both rebound by
+    #: ``repro.obs.Observation.attach``.
+    _trace = None
+    _component = "big"
+
     def __init__(
         self,
         sim: Simulator,
@@ -101,6 +106,10 @@ class LockingBarrierTable:
         barrier = LockBarrier(addr=addr, created_cycle=self.sim.cycle)
         self.barriers[addr] = barrier
         self.barriers_created += 1
+        tr = self._trace
+        if tr is not None:
+            tr(self._component, "barrier.setup", addr=addr,
+               live=len(self.barriers))
         self._arm_ttl(barrier)
         return True
 
@@ -122,6 +131,10 @@ class LockingBarrierTable:
             return
         del self.barriers[addr]
         self.barriers_expired += 1
+        tr = self._trace
+        if tr is not None:
+            tr(self._component, "barrier.expire", addr=addr,
+               age=self.sim.cycle - barrier.created_cycle)
 
     # ------------------------------------------------------------------
     # Early-invalidation entries
@@ -142,6 +155,10 @@ class LockingBarrierTable:
             return False
         barrier.ei[core] = EIEntry(core=core)
         self.ei_created += 1
+        tr = self._trace
+        if tr is not None:
+            tr(self._component, "barrier.hit", addr=addr, core=core,
+               ei_in_use=self.ei_in_use)
         # an EI entry resets and suspends the TTL countdown
         self._disarm_ttl(barrier)
         return True

@@ -39,6 +39,9 @@ class BigRouter(Router):
 
     is_big = True
 
+    #: trace emitter; rebound by ``repro.obs.Observation.attach``.
+    _trace = None
+
     def __init__(
         self, sim: Simulator, node: int, network: "Network", inpg: "InpgConfig"
     ):
@@ -117,6 +120,10 @@ class BigRouter(Router):
         self.invs_generated += 1
         stats = self._memsys.stats
         stats.early_invs_generated += 1
+        tr = self._trace
+        if tr is not None:
+            tr(f"big/{self.node}", "inpg.early_inv", addr=msg.addr,
+               target=msg.requester, n=self.invs_generated)
         inv = CoherenceMessage(
             mtype=MessageType.INV,
             addr=msg.addr,
@@ -141,6 +148,10 @@ class BigRouter(Router):
     # ------------------------------------------------------------------
     def _forward_early_ack(self, packet: Packet, msg: CoherenceMessage) -> None:
         self.acks_forwarded += 1
+        tr = self._trace
+        if tr is not None:
+            tr(f"big/{self.node}", "inpg.ack_fwd", addr=msg.addr,
+               from_core=msg.inv_target, n=self.acks_forwarded)
         self.network.consume(packet)
         self.table.mark_ack_received(msg.addr, msg.inv_target)
         # The Inv-Ack round trip completes here: this router generated the

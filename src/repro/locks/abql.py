@@ -68,7 +68,7 @@ class AbqlLock(LockPrimitive):
 
         def on_claimed(value: int) -> None:
             if value == HAS_LOCK:
-                self._acquired(callback)
+                self._acquired(core, callback)
             else:
                 wait()
 
@@ -82,8 +82,8 @@ class AbqlLock(LockPrimitive):
 
         wait()
 
-    def _acquired(self, callback: AcquireCallback) -> None:
-        self.acquisitions += 1
+    def _acquired(self, core: int, callback: AcquireCallback) -> None:
+        self._note_acquire(core)
         callback()
 
     def release(self, core: int, callback: ReleaseCallback) -> None:
@@ -98,7 +98,7 @@ class AbqlLock(LockPrimitive):
             )
 
         def on_passed(_old: int) -> None:
-            self.releases += 1
+            self._note_release(core)
             del self._my_slot[core]
             callback()
 

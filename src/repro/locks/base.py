@@ -47,6 +47,10 @@ class LockPrimitive(Component):
 
     name = "base"
 
+    #: rebound to the tracer's ``emit`` by ``Observation.attach``; the
+    #: guarded call sites below cost one None test when tracing is off.
+    _trace = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -64,6 +68,9 @@ class LockPrimitive(Component):
         self.addr = addr_space.block(home_node)
         self.acquisitions = 0
         self.releases = 0
+        #: previous holder / its release cycle, for handoff tracing
+        self._last_holder: Optional[int] = None
+        self._last_release_cycle: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -73,6 +80,36 @@ class LockPrimitive(Component):
 
     def release(self, core: int, callback: ReleaseCallback) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Accounting (every primitive funnels its acquire/release commits
+    # through these, giving the tracer one place to see lock handoffs)
+    # ------------------------------------------------------------------
+    def _note_acquire(self, core: int) -> None:
+        """Count a committed acquisition; trace acquire + handoff edges."""
+        self.acquisitions += 1
+        tr = self._trace
+        if tr is not None:
+            component = f"lock/{self.lock_id}"
+            tr(component, "lock.acquire", core=core, n=self.acquisitions)
+            last = self._last_holder
+            if last is not None and last != core:
+                gap = (
+                    self.now - self._last_release_cycle
+                    if self._last_release_cycle is not None
+                    else 0
+                )
+                tr(component, "lock.handoff",
+                   from_core=last, to_core=core, gap=gap)
+        self._last_holder = core
+
+    def _note_release(self, core: int) -> None:
+        """Count a committed release; trace the release edge."""
+        self.releases += 1
+        self._last_release_cycle = self.now
+        tr = self._trace
+        if tr is not None:
+            tr(f"lock/{self.lock_id}", "lock.release", core=core)
 
     # ------------------------------------------------------------------
     # Helpers

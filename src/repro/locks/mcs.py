@@ -64,7 +64,7 @@ class McsLock(LockPrimitive):
         def on_prev(old: int) -> None:
             prev = old - 1
             if old == NIL:
-                self.acquisitions += 1
+                self._note_acquire(core)
                 callback()
                 return
             # link into the predecessor's qnode, then spin locally
@@ -84,11 +84,11 @@ class McsLock(LockPrimitive):
             core,
             qnode,
             passes=lambda v: not is_locked(v),
-            on_pass=lambda _: self._acquired(callback),
+            on_pass=lambda _: self._acquired(core, callback),
         )
 
-    def _acquired(self, callback: AcquireCallback) -> None:
-        self.acquisitions += 1
+    def _acquired(self, core: int, callback: AcquireCallback) -> None:
+        self._note_acquire(core)
         callback()
 
     # ------------------------------------------------------------------
@@ -110,7 +110,7 @@ class McsLock(LockPrimitive):
 
         def on_cas(success: int) -> None:
             if success:
-                self.releases += 1
+                self._note_release(core)
                 callback()
                 return
             # wait for the in-flight successor to link itself in
@@ -134,7 +134,7 @@ class McsLock(LockPrimitive):
             return encode(v >> 1, 0), v
 
         def on_done(_v: int) -> None:
-            self.releases += 1
+            self._note_release(core)
             callback()
 
         self.memsys.rmw(core, succ_qnode, clear_locked, on_done, is_atomic=False)

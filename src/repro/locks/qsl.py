@@ -101,7 +101,7 @@ class QueueSpinLock(LockPrimitive):
 
         def on_old(old: int) -> None:
             if old == FREE:
-                self.acquisitions += 1
+                self._note_acquire(core)
                 if state["woken"]:
                     self.acquired_after_sleep += 1
                 else:
@@ -134,7 +134,7 @@ class QueueSpinLock(LockPrimitive):
     # ------------------------------------------------------------------
     def release(self, core: int, callback: ReleaseCallback) -> None:
         def on_done(_old: int) -> None:
-            self.releases += 1
+            self._note_release(core)
             self.os_model.notify_release(self.lock_id)
             callback()
 

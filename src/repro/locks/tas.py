@@ -54,7 +54,7 @@ class TasLock(LockPrimitive):
 
         def on_old_value(old: int) -> None:
             if old == FREE:
-                self.acquisitions += 1
+                self._note_acquire(core)
                 callback()
             else:
                 # lost the race (Line 5 BENZ fails): retry
@@ -70,7 +70,7 @@ class TasLock(LockPrimitive):
 
     def release(self, core: int, callback: ReleaseCallback) -> None:
         def on_done(_old: int) -> None:
-            self.releases += 1
+            self._note_release(core)
             callback()
 
         self.memsys.store(core, self.addr, FREE, on_done)

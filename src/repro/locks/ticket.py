@@ -49,7 +49,7 @@ class TicketLock(LockPrimitive):
             ticket = next_ticket(old)
             self._my_ticket[core] = ticket
             if now_serving(old) == ticket:
-                self.acquisitions += 1
+                self._note_acquire(core)
                 callback()
                 return
             self._wait_turn(core, ticket, callback)
@@ -80,7 +80,7 @@ class TicketLock(LockPrimitive):
 
         def on_claimed(value: int) -> None:
             if now_serving(value) == ticket:
-                self._acquired(callback)
+                self._acquired(core, callback)
             else:
                 wait()
 
@@ -94,8 +94,8 @@ class TicketLock(LockPrimitive):
 
         wait()
 
-    def _acquired(self, callback: AcquireCallback) -> None:
-        self.acquisitions += 1
+    def _acquired(self, core: int, callback: AcquireCallback) -> None:
+        self._note_acquire(core)
         callback()
 
     def release(self, core: int, callback: ReleaseCallback) -> None:
@@ -108,7 +108,7 @@ class TicketLock(LockPrimitive):
             return new, old
 
         def on_done(_old: int) -> None:
-            self.releases += 1
+            self._note_release(core)
             del self._my_ticket[core]
             callback()
 

@@ -25,6 +25,10 @@ RouterFactory = Callable[[Simulator, int, "Network"], Router]
 class Network(Component):
     """An XY-routed mesh network of (possibly heterogeneous) routers."""
 
+    #: trace emitter; rebound by ``repro.obs.Observation.attach``.  Left as
+    #: ``None`` on untraced runs so the hot paths pay a single identity test.
+    _trace = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -92,6 +96,10 @@ class Network(Component):
         )
         packet.injected_cycle = self.now
         self.packets_injected += 1
+        tr = self._trace
+        if tr is not None:
+            tr(f"core/{src}", "net.inject", dst=dst, flits=size_flits,
+               priority=priority)
         self.routers[src].accept(packet)
         return packet
 
@@ -103,6 +111,10 @@ class Network(Component):
         """
         packet.injected_cycle = self.now
         self.packets_injected += 1
+        tr = self._trace
+        if tr is not None:
+            tr(f"big/{router_node}", "net.inject", dst=packet.dst,
+               flits=packet.size_flits, generated=1)
         self.routers[router_node].forward_now(packet)
 
     def deliver_local(self, packet: Packet) -> None:
@@ -113,6 +125,10 @@ class Network(Component):
         hops = packet.hops - 1
         if hops > 0:
             self.total_hops += hops
+        tr = self._trace
+        if tr is not None:
+            tr(f"core/{packet.dst}", "net.eject", src=packet.src,
+               latency=packet.latency, hops=max(hops, 0))
         handler = self._endpoints.get(packet.dst)
         if handler is None:
             raise RuntimeError(f"no endpoint registered at node {packet.dst}")

@@ -36,10 +36,17 @@ class Packet:
     delivered_cycle: int = -1
     #: routers visited so far (hop counting is always on; the full
     #: per-router trace below is only populated when the network was
-    #: built with ``record_traces=True``).
-    hops: int = 0
+    #: built with ``record_traces=True``).  Routers bump the private
+    #: field; ``hops`` below is the read-only view.
+    _hops: int = field(default=0, init=False, repr=False)
     #: routers traversed so far (head-flit trace; empty unless tracing).
     trace: List[int] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        """Routers visited so far (read-only; folded into the
+        ``repro.obs`` registry as the network's ``total_hops`` gauge)."""
+        return self._hops
 
     @property
     def latency(self) -> int:

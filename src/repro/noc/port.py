@@ -44,7 +44,7 @@ class OutputPort(Component):
         self.packets_sent = 0
         self.flits_sent = 0
         self.total_wait_cycles = 0
-        self.peak_queue_depth = 0
+        self._peak_queue_depth = 0
 
     def request(self, packet: Packet, on_granted: Callable[[Packet], None]) -> None:
         """Ask to transmit ``packet``; ``on_granted(packet)`` fires when the
@@ -58,16 +58,16 @@ class OutputPort(Component):
         if not self._busy and not self._pending:
             # The slow path transits the heap, so every request used to
             # push depth to at least 1; keep that stat identical here.
-            if self.peak_queue_depth == 0:
-                self.peak_queue_depth = 1
+            if self._peak_queue_depth == 0:
+                self._peak_queue_depth = 1
             self._grant(packet, on_granted)
             return
         priority = packet.priority if self.priority_aware else 0
         key = (packet.vnet, -priority, self.now, self._seq)
         self._seq += 1
         heapq.heappush(self._pending, (key, packet, on_granted))
-        if len(self._pending) > self.peak_queue_depth:
-            self.peak_queue_depth = len(self._pending)
+        if len(self._pending) > self._peak_queue_depth:
+            self._peak_queue_depth = len(self._pending)
 
     def _grant(
         self, packet: Packet, on_granted: Callable[[Packet], None]
@@ -97,6 +97,12 @@ class OutputPort(Component):
         key, packet, on_granted = heapq.heappop(self._pending)
         self.total_wait_cycles += self.now - key[2]
         self._grant(packet, on_granted)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Deepest arbitration queue seen (read-only; aggregated by the
+        ``repro.obs`` registry as ``noc/peak_queue_depth``)."""
+        return self._peak_queue_depth
 
     @property
     def queue_depth(self) -> int:

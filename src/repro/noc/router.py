@@ -100,7 +100,7 @@ class Router(Component):
     def accept(self, packet: Packet) -> None:
         """Head flit of ``packet`` arrives at this router."""
         self.packets_seen += 1
-        packet.hops += 1
+        packet._hops += 1
         if self._record_trace:
             packet.trace.append(self.node)
         if self._inspects and self.inspect(packet) == STOPPED:

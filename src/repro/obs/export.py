@@ -1,0 +1,222 @@
+"""Exporters: Chrome trace-event JSON, contention timelines, counter dumps.
+
+The Chrome exporter emits the `Trace Event Format`_ consumed by
+``chrome://tracing`` and Perfetto's legacy-JSON importer: one *process*
+("track group") for the cores, one for the iNPG big routers and one for
+system components (locks, OS, directories), with
+
+* thread phase intervals (parallel / coh / cse) as complete (``"X"``)
+  slices on the core tracks, taken from the run's :class:`Timeline`;
+* every structured trace record as a thread-scoped instant (``"i"``)
+  event on its component's track.
+
+Timestamps are simulator cycles reported as microseconds (1 cycle = 1 us
+in the viewer; only relative scale matters).
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .tracer import TraceRecord
+
+#: process ids of the three track groups (per exported run)
+PID_CORES = 0
+PID_BIG_ROUTERS = 1
+PID_SYSTEM = 2
+#: pid stride between runs in a combined export
+PID_STRIDE = 3
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+def _track_of(component: str) -> Tuple[int, Optional[int], str]:
+    """Map a component name to (pid offset, tid or None, track label)."""
+    kind, _, index = component.partition("/")
+    if kind == "core" and index:
+        return PID_CORES, int(index), component
+    if kind == "big" and index:
+        return PID_BIG_ROUTERS, int(index), f"big router {index}"
+    return PID_SYSTEM, None, component
+
+
+def chrome_trace_events(
+    records: Sequence[TraceRecord] = (),
+    intervals: Sequence = (),
+    label: str = "run",
+    pid_base: int = 0,
+) -> List[Dict]:
+    """Build the ``traceEvents`` list for one run.
+
+    ``intervals`` is an iterable of objects (or 4-tuples) with
+    ``thread`` / ``phase`` / ``start`` / ``end`` — the run timeline's
+    phase intervals.  ``pid_base`` offsets the process ids so several
+    runs can share one combined trace file.
+    """
+    events: List[Dict] = []
+    suffix = f" [{label}]" if label else ""
+    seen_pids = {}
+
+    def process(offset: int, name: str) -> int:
+        pid = pid_base + offset
+        if pid not in seen_pids:
+            seen_pids[pid] = True
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": name + suffix},
+            })
+            events.append({
+                "ph": "M", "name": "process_sort_index", "pid": pid,
+                "tid": 0, "args": {"sort_index": pid},
+            })
+        return pid
+
+    # Phase slices on core tracks.
+    for iv in intervals:
+        if isinstance(iv, tuple):
+            thread, phase, start, end = iv
+        else:
+            thread, phase, start, end = iv.thread, iv.phase, iv.start, iv.end
+        pid = process(PID_CORES, "cores")
+        events.append({
+            "ph": "X", "name": phase, "cat": "phase",
+            "ts": start, "dur": max(0, end - start),
+            "pid": pid, "tid": thread,
+        })
+
+    # Instant events from the structured tracer.
+    system_tids: Dict[str, int] = {}
+    for cycle, component, event, fields in records:
+        offset, tid, track = _track_of(component)
+        if offset == PID_CORES:
+            pid = process(PID_CORES, "cores")
+        elif offset == PID_BIG_ROUTERS:
+            pid = process(PID_BIG_ROUTERS, "iNPG big routers")
+        else:
+            pid = process(PID_SYSTEM, "system")
+        if tid is None:
+            if component not in system_tids:
+                system_tids[component] = len(system_tids)
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": system_tids[component],
+                    "args": {"name": track},
+                })
+            tid = system_tids[component]
+        events.append({
+            "ph": "i", "s": "t", "name": event,
+            "cat": event.split(".", 1)[0],
+            "ts": cycle, "pid": pid, "tid": tid,
+            "args": dict(fields),
+        })
+    return events
+
+
+def to_chrome_trace(
+    runs: Sequence[Tuple[str, Sequence[TraceRecord], Sequence]],
+    metadata: Optional[Dict] = None,
+) -> Dict:
+    """A complete Chrome trace document for one or more runs.
+
+    ``runs`` is a sequence of ``(label, records, intervals)`` triples;
+    each run gets its own block of process ids.
+    """
+    events: List[Dict] = []
+    for index, (label, records, intervals) in enumerate(runs):
+        events.extend(chrome_trace_events(
+            records=records, intervals=intervals, label=label,
+            pid_base=index * PID_STRIDE,
+        ))
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "cycle"},
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def write_chrome_trace(path, runs, metadata=None) -> Dict:
+    """Write :func:`to_chrome_trace` output as JSON; returns the doc."""
+    doc = to_chrome_trace(runs, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Per-lock contention timeline report
+# ----------------------------------------------------------------------
+def contention_report(records: Iterable[TraceRecord]) -> str:
+    """A per-lock text report of acquisitions, holds and handoffs.
+
+    Built purely from ``lock.*`` trace records, so it works on live
+    tracer output, deserialized cache payloads, and records filtered out
+    of a combined trace alike.
+    """
+    acquires: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+    holds: Dict[str, List[int]] = defaultdict(list)
+    handoffs: Dict[str, int] = defaultdict(int)
+    handoff_gaps: Dict[str, List[int]] = defaultdict(list)
+    open_hold: Dict[str, Tuple[int, int]] = {}
+
+    for cycle, component, event, fields in records:
+        if not event.startswith("lock."):
+            continue
+        if event == "lock.acquire":
+            acquires[component].append((cycle, fields.get("core", -1)))
+            open_hold[component] = (cycle, fields.get("core", -1))
+        elif event == "lock.release":
+            start = open_hold.pop(component, None)
+            if start is not None:
+                holds[component].append(cycle - start[0])
+        elif event == "lock.handoff":
+            handoffs[component] += 1
+            gap = fields.get("gap")
+            if gap is not None:
+                handoff_gaps[component].append(gap)
+
+    if not acquires:
+        return "no lock events in trace"
+
+    lines = ["--- lock contention timeline ---"]
+    header = (f"{'lock':<10} {'acquires':>8} {'handoffs':>8} "
+              f"{'mean hold':>10} {'max hold':>9} {'mean handoff gap':>17}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for component in sorted(acquires):
+        hold_list = holds.get(component, [])
+        gaps = handoff_gaps.get(component, [])
+        mean_hold = sum(hold_list) / len(hold_list) if hold_list else 0.0
+        max_hold = max(hold_list) if hold_list else 0
+        mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
+        lines.append(
+            f"{component:<10} {len(acquires[component]):>8} "
+            f"{handoffs.get(component, 0):>8} {mean_hold:>10.1f} "
+            f"{max_hold:>9} {mean_gap:>17.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Counters dump
+# ----------------------------------------------------------------------
+def counters_report(snapshot: Dict[str, float]) -> str:
+    """Render a registry snapshot as aligned ``path value`` lines."""
+    if not snapshot:
+        return "no counters registered"
+    width = max(len(path) for path in snapshot)
+    lines = ["--- counters ---"]
+    for path in sorted(snapshot):
+        value = snapshot[path]
+        rendered = f"{value:g}" if value != int(value) else f"{int(value):,}"
+        lines.append(f"{path:<{width}}  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Hierarchical counters/gauges registry (the metrics half of ``repro.obs``).
+
+Components register what they already measure — the plain integer
+attributes the hot paths maintain (``Packet.hops`` totals, the kernel's
+compaction count, port queue depths) — under slash-separated paths at
+wire-up time.  Registration is the *only* cost: the hot paths keep
+bumping ordinary attributes, and the registry reads them lazily when a
+snapshot is taken (end of run, ``diagnose()``, exporters).
+
+Two kinds of entries:
+
+* a :class:`Counter` — a named integer owned by the registry, for new
+  metrics that have no pre-existing attribute home;
+* a *gauge* — a zero-argument callable (usually ``lambda: obj.attr``)
+  registered over an existing attribute, so the owning component's hot
+  path stays untouched.
+
+Paths are hierarchical (``"noc/router5/packets_seen"``) purely by
+convention: :meth:`Registry.snapshot` flattens everything into one
+``{path: number}`` dict, and :meth:`Registry.subtree` filters by prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+#: gauge sources are zero-argument callables returning a number
+GaugeFn = Callable[[], Union[int, float]]
+
+
+class Counter:
+    """A registry-owned integer counter (cheap enough for warm paths)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Registry:
+    """One simulation's namespace of counters and gauges."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Union[Counter, GaugeFn]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def counter(self, path: str, initial: int = 0) -> Counter:
+        """Create (or fetch) the registry-owned counter at ``path``."""
+        entry = self._entries.get(path)
+        if entry is not None:
+            if not isinstance(entry, Counter):
+                raise ValueError(f"{path!r} is registered as a gauge")
+            return entry
+        counter = Counter(initial)
+        self._entries[path] = counter
+        return counter
+
+    def gauge(self, path: str, fn: GaugeFn) -> None:
+        """Register a read-through gauge over an existing attribute."""
+        if path in self._entries:
+            raise ValueError(f"{path!r} is already registered")
+        self._entries[path] = fn
+
+    def gauges(self, prefix: str, **fns: GaugeFn) -> None:
+        """Register several gauges under one component prefix."""
+        for name, fn in fns.items():
+            self.gauge(f"{prefix}/{name}", fn)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self, path: str) -> Union[int, float]:
+        entry = self._entries[path]
+        return entry.value if isinstance(entry, Counter) else entry()
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, Union[int, float]]]:
+        for path in sorted(self._entries):
+            yield path, self.read(path)
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, float]:
+        """Flatten every entry (optionally under ``prefix``) to a dict.
+
+        Gauge callables that raise are skipped rather than poisoning the
+        whole snapshot (a component may have been torn down).
+        """
+        out: Dict[str, float] = {}
+        for path in sorted(self._entries):
+            if prefix is not None and not path.startswith(prefix):
+                continue
+            try:
+                out[path] = float(self.read(path))
+            except Exception:
+                continue
+        return out
+
+    def subtree(self, prefix: str) -> Dict[str, float]:
+        """Snapshot restricted to paths under ``prefix`` (inclusive)."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return self.snapshot(prefix=prefix)

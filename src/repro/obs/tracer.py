@@ -1,0 +1,90 @@
+"""Ring-buffered structured event tracer (the timeline half of ``repro.obs``).
+
+A trace record is one tuple ``(cycle, component, event, fields)``:
+
+* ``cycle`` — the simulator cycle the event fired at;
+* ``component`` — a slash-qualified track name (``"core/5"``,
+  ``"big/12"``, ``"lock/0"``, ``"os"``);
+* ``event`` — a dotted event-taxonomy name (``"lock.handoff"``,
+  ``"inpg.early_inv"``, ``"net.inject"``, ...; see DESIGN.md §9);
+* ``fields`` — a small dict of JSON-safe values (ints / strings).
+
+The buffer is a bounded ``deque``: when a run emits more records than
+``capacity``, the *oldest* are dropped (``dropped`` counts them), so a
+trace always holds the tail of the run — the part with the ROI's end
+state — without ever growing unbounded.
+
+Emitting never touches the event queue, the RNG, or any component state,
+so a traced run is bit-exact with an untraced one (pinned by the golden
+determinism tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim.kernel import Simulator
+
+#: one trace record: (cycle, component, event, fields)
+TraceRecord = Tuple[int, str, str, Dict]
+
+#: default ring capacity (records); ~a few MB of tuples at worst
+DEFAULT_CAPACITY = 262_144
+
+
+class Tracer:
+    """Collects structured events from instrumented components."""
+
+    def __init__(self, sim: Simulator, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, component: str, event: str, **fields) -> None:
+        """Record one event at the current simulator cycle.
+
+        This is the bound method components hold as their ``_trace``
+        emitter; when tracing is off they hold ``None`` instead and the
+        guarded call sites skip even the argument construction.
+        """
+        self.emitted += 1
+        self._ring.append((self.sim.cycle, component, event, fields))
+
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Records pushed out of the ring by newer ones."""
+        return self.emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(
+        self,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """The buffered records in emission order, optionally filtered by
+        exact component and/or event-name prefix."""
+        out = []
+        for record in self._ring:
+            if component is not None and record[1] != component:
+                continue
+            if event is not None and not record[2].startswith(event):
+                continue
+            out.append(record)
+        return out
+
+    def to_payload(self) -> List[List]:
+        """JSON-safe encoding: ``[cycle, component, event, fields]`` rows."""
+        return [[c, comp, ev, dict(fields)] for c, comp, ev, fields in self._ring]
+
+    @staticmethod
+    def records_from_payload(payload: List[List]) -> List[TraceRecord]:
+        """Inverse of :meth:`to_payload` (cache / serialize round trip)."""
+        return [(row[0], row[1], row[2], dict(row[3])) for row in payload]

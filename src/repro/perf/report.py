@@ -15,6 +15,12 @@ unless ``--rebaseline`` replaces them), so the file always documents
 before/after.  ``--check`` re-runs a subset and fails when events/sec
 drops more than :data:`REGRESSION_TOLERANCE` below the committed
 ``workloads`` numbers — the CI perf-smoke gate.
+
+``--trace-out PATH`` additionally captures one *observed* reference run
+of the end-to-end system the ``fig12_quick`` workload bottoms out in and
+writes it as Chrome trace-event JSON, so a perf investigation has a
+structured timeline next to the throughput numbers.  The measurements
+themselves always run unobserved — tracing never skews the gate.
 """
 
 from __future__ import annotations
@@ -140,6 +146,29 @@ def check_against(
     return failures
 
 
+def capture_reference_trace(path: Path) -> None:
+    """Run one observed end-to-end simulation and write its Chrome trace.
+
+    Uses the same shape of run the ``fig12_quick`` workload bottoms out
+    in (a scaled-down iNPG benchmark), executed inline and uncached so
+    the trace reflects exactly what was simulated here.
+    """
+    from ..exec import RunSpec
+    from ..exec.executor import execute_spec
+    from ..obs import Observation
+
+    spec = RunSpec(
+        benchmark="kdtree", mechanism="inpg", primitive="qsl", scale=0.25
+    )
+    observe = Observation(label=spec.label())
+    execute_spec(spec, observe=observe)
+    observe.write_chrome_trace(path)
+    print(
+        f"  reference trace: {spec.label()} -> {path} "
+        f"({len(observe.records()):,} records)"
+    )
+
+
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -172,6 +201,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--baseline-label", default=None,
         help="provenance note stored with a new baseline",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="also capture an observed reference run of the end-to-end "
+        "system (written via --trace-out; default perf_trace.json)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="Chrome trace-event JSON for the observed reference run "
+        "(implies --trace)",
+    )
     args = parser.parse_args(argv)
 
     if args.workloads:
@@ -184,6 +223,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     path = Path(args.output)
     print(f"measuring {len(names)} workload(s): {', '.join(names)}")
     results = run_workloads(names)
+
+    if args.trace or args.trace_out is not None:
+        capture_reference_trace(Path(args.trace_out or "perf_trace.json"))
 
     if args.check:
         committed = load_report(path)

@@ -102,8 +102,7 @@ class Simulator:
         self._stopped = False
         self.events_processed = 0
         self._cancelled = 0
-        #: number of threshold-triggered queue compactions (observability)
-        self.compactions = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -238,11 +237,18 @@ class Simulator:
         queue[:] = live
         heapq.heapify(queue)
         self._cancelled = 0
-        self.compactions += 1
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def compactions(self) -> int:
+        """Threshold-triggered queue compactions so far (read-only; the
+        ``repro.obs`` registry reads this as the ``sim/compactions``
+        gauge)."""
+        return self._compactions
+
     @property
     def pending_events(self) -> int:
         """Number of queued entries, including cancelled corpses awaiting

@@ -41,6 +41,10 @@ class RunResult:
     os_sleeps: int = 0
     os_wakeups: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: observability payload (``repro.obs.Observation.payload()``): the
+    #: counters snapshot plus, when tracing, the trace ring.  ``None`` on
+    #: unobserved runs.
+    obs: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Derived quantities used across the figures

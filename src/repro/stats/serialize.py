@@ -23,7 +23,8 @@ from .metrics import RunResult, ThreadMetrics
 from .timeline import PhaseInterval, Timeline
 
 #: bump when any ``*_to_dict`` layout below changes shape
-RESULT_SCHEMA_VERSION = 1
+#: (v2: ``RunResult.obs`` observability payload added)
+RESULT_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +139,7 @@ def serialize_run_result(result: RunResult) -> Dict:
         "os_sleeps": result.os_sleeps,
         "os_wakeups": result.os_wakeups,
         "extra": dict(result.extra),
+        "obs": result.obs,
     }
 
 
@@ -161,4 +163,5 @@ def deserialize_run_result(payload: Dict) -> RunResult:
         os_sleeps=payload["os_sleeps"],
         os_wakeups=payload["os_wakeups"],
         extra=dict(payload["extra"]),
+        obs=payload.get("obs"),
     )

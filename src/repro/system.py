@@ -1,19 +1,21 @@
 """ManyCoreSystem: assemble and run one simulated 64-core platform.
 
-This is the library's main entry point::
+The supported entry point is the stable facade :mod:`repro.api`::
 
-    from repro import ManyCoreSystem, SystemConfig, generate_workload
+    from repro import api
 
-    config = SystemConfig().with_mechanism("inpg")
-    workload = generate_workload("freqmine", num_threads=64, mesh_nodes=64)
-    system = ManyCoreSystem(config, workload, primitive="qsl")
-    result = system.run()
+    config = api.SystemConfig().with_mechanism("inpg")
+    workload = api.generate_workload("freqmine", num_threads=64, mesh_nodes=64)
+    result = api.simulate(config, workload, primitive="qsl")
     print(result.summary())
+
+Constructing :class:`ManyCoreSystem` directly remains supported for code
+that needs to poke at the assembled components before running.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from .config import SystemConfig
 from .coherence.memsystem import MemorySystem
@@ -31,6 +33,9 @@ from .stats.metrics import RunResult, ThreadMetrics
 from .stats.timeline import Timeline
 from .workloads.generator import Workload
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .obs import Observation
+
 
 class DeadlockError(RuntimeError):
     """The ROI did not finish within the cycle budget."""
@@ -44,6 +49,7 @@ class ManyCoreSystem:
         config: SystemConfig,
         workload: Workload,
         primitive: str = "qsl",
+        observe: Optional["Observation"] = None,
     ):
         if workload.num_threads > config.noc.width * config.noc.height:
             raise ValueError(
@@ -121,6 +127,11 @@ class ManyCoreSystem:
             for t in range(workload.num_threads)
         ]
         self._finished_cycle: Optional[int] = None
+        self.observe = observe
+        if observe is not None:
+            # wire-up time: gauges registered and trace emitters rebound
+            # exactly once; the run itself proceeds unmodified.
+            observe.attach(self)
 
     # ------------------------------------------------------------------
     def _thread_done(self, _thread_id: int) -> None:
@@ -144,7 +155,7 @@ class ManyCoreSystem:
             )
         self.timeline.close_all(self._finished_cycle)
         mechanism = self._mechanism_name()
-        return RunResult(
+        result = RunResult(
             extra={"sim_events": float(self.sim.events_processed)},
             mechanism=mechanism,
             primitive=self.primitive,
@@ -158,6 +169,13 @@ class ManyCoreSystem:
             os_sleeps=self.os_model.sleeps,
             os_wakeups=self.os_model.wakeups,
         )
+        observe = self.observe
+        if observe is not None and observe.attached:
+            observe.result = result
+            result.obs = observe.payload()
+            for path, value in observe.counters().items():
+                result.extra[f"obs/{path}"] = float(value)
+        return result
 
     def diagnose(self) -> str:
         """A protocol-state snapshot for stuck-run debugging.
@@ -229,6 +247,7 @@ def run_benchmark(
     scale: float = 1.0,
     lock_homes=(),
     max_cycles: int = 50_000_000,
+    observe: Optional["Observation"] = None,
 ) -> RunResult:
     """One-call convenience wrapper: configure, generate, run, measure.
 
@@ -247,5 +266,5 @@ def run_benchmark(
         scale=scale,
         lock_homes=lock_homes,
     )
-    system = ManyCoreSystem(cfg, workload, primitive=primitive)
+    system = ManyCoreSystem(cfg, workload, primitive=primitive, observe=observe)
     return system.run(max_cycles=max_cycles)

@@ -42,7 +42,7 @@ GOLDEN_RUNS = {
 GOLDEN_FLIT = ("49e0dffdc473d86980de9a26886aa321", 63963, 1200)
 
 
-def fingerprint_run(bench, mechanism):
+def fingerprint_run(bench, mechanism, observe=None):
     """Run a small fig12-shaped simulation, hashing every delivery."""
     digest = hashlib.md5()
     original_deliver = Network.deliver_local
@@ -57,7 +57,8 @@ def fingerprint_run(bench, mechanism):
     Network.deliver_local = recording_deliver
     try:
         result = run_benchmark(
-            bench, mechanism=mechanism, scale=0.25, seed=2018
+            bench, mechanism=mechanism, scale=0.25, seed=2018,
+            observe=observe,
         )
     finally:
         Network.deliver_local = original_deliver
@@ -83,6 +84,21 @@ class TestGoldenFig12:
         first = fingerprint_run("bwaves", "original")
         second = fingerprint_run("bwaves", "original")
         assert first == second
+
+    @pytest.mark.parametrize(
+        "bench,mechanism",
+        [("bwaves", "original"), ("fluidanimate", "inpg")],
+        ids="/".join,
+    )
+    def test_observed_run_is_bit_exact(self, bench, mechanism):
+        """Wiring in full observability (counters + trace ring) must not
+        perturb scheduling: the pinned fingerprints stay byte-identical."""
+        from repro.obs import Observation
+
+        observe = Observation(label="golden")
+        assert fingerprint_run(bench, mechanism, observe=observe) == \
+            GOLDEN_RUNS[(bench, mechanism)]
+        assert observe.records(), "tracer captured no events"
 
 
 class TestGoldenFlit:
