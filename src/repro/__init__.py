@@ -25,6 +25,12 @@ Its surface:
   versioned lossless persistence of results.
 * :func:`repro.api.trace` — context-managed observability with Chrome
   trace-event (Perfetto) export.
+* :mod:`repro.errors` (also ``api.errors``) — the single exception
+  hierarchy (:class:`repro.errors.ReproError` and friends).
+* :class:`repro.api.FaultPlan` / :class:`repro.api.ExperimentOptions` —
+  deterministic fault injection and the unified robustness knobs
+  (watchdog, timeouts, retry/skip policy); see ``repro.faults`` and the
+  ``inpg-faults`` campaign CLI.
 
 The deeper modules remain importable (``repro.system``, ``repro.exec``,
 ``repro.locks``, ``repro.inpg``, ``repro.obs``, ``repro.experiments`` —
@@ -33,12 +39,22 @@ pre-``repro.api`` code keep working; prefer ``repro.api`` in new code,
 as the internals' constructor signatures may grow over time.
 """
 
-from . import api
+from . import api, errors
 from .config import MECHANISMS, SystemConfig
+from .errors import (
+    DeadlockError,
+    ExecutorError,
+    LivelockDetected,
+    ProtocolViolation,
+    ReproError,
+    RunTimeout,
+    SimulationError,
+)
 from .exec import Executor, RunSpec
+from .faults import FaultPlan, FaultSite
 from .obs import Observation
 from .stats.metrics import RunResult, ThreadMetrics
-from .system import DeadlockError, ManyCoreSystem, run_benchmark
+from .system import ManyCoreSystem, run_benchmark
 from .workloads.generator import (
     Workload,
     generate_workload,
@@ -49,17 +65,26 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DeadlockError",
+    "ExecutorError",
     "Executor",
+    "FaultPlan",
+    "FaultSite",
+    "LivelockDetected",
     "MECHANISMS",
     "ManyCoreSystem",
     "Observation",
+    "ProtocolViolation",
+    "ReproError",
     "RunResult",
     "RunSpec",
+    "RunTimeout",
+    "SimulationError",
     "SystemConfig",
     "ThreadMetrics",
     "Workload",
     "__version__",
     "api",
+    "errors",
     "generate_workload",
     "run_benchmark",
     "single_lock_workload",

@@ -36,12 +36,24 @@ import json
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from . import errors
 from .config import MECHANISMS, SystemConfig
+from .errors import (
+    DeadlockError,
+    ExecutorError,
+    LivelockDetected,
+    ProtocolViolation,
+    ReproError,
+    RunTimeout,
+    SimulationError,
+)
 from .exec import Executor, RunSpec
+from .experiments.common import ExperimentOptions
+from .faults import FaultPlan, FaultSite
 from .obs import DEFAULT_CAPACITY, Observation
 from .stats.metrics import RunResult
 from .stats.serialize import deserialize_run_result, serialize_run_result
-from .system import DeadlockError, ManyCoreSystem, run_benchmark
+from .system import ManyCoreSystem, run_benchmark
 from .workloads.generator import (
     Workload,
     generate_workload,
@@ -50,14 +62,24 @@ from .workloads.generator import (
 
 __all__ = [
     "DeadlockError",
+    "ExecutorError",
     "Executor",
+    "ExperimentOptions",
+    "FaultPlan",
+    "FaultSite",
+    "LivelockDetected",
     "MECHANISMS",
     "ManyCoreSystem",
     "Observation",
+    "ProtocolViolation",
+    "ReproError",
     "RunResult",
     "RunSpec",
+    "RunTimeout",
+    "SimulationError",
     "SystemConfig",
     "Workload",
+    "errors",
     "generate_workload",
     "load_result",
     "run_benchmark",
@@ -79,6 +101,7 @@ def simulate(
     *,
     observe: Optional[Observation] = None,
     max_cycles: int = 50_000_000,
+    options: Optional[ExperimentOptions] = None,
 ) -> RunResult:
     """Assemble one many-core system, run its ROI, return the result.
 
@@ -87,10 +110,25 @@ def simulate(
     trace ring); observed and unobserved runs of the same inputs are
     bit-exact.  Raises :class:`DeadlockError` if the ROI does not finish
     within ``max_cycles``.
+
+    ``options`` carries the robustness knobs: ``fault_plan`` installs
+    deterministic NoC fault injection, ``watchdog_cycles`` arms the
+    liveness watchdog (:class:`LivelockDetected` on no-progress),
+    ``check_protocol`` attaches the online coherence checker, and
+    ``timeout_s`` bounds the run's wall clock (:class:`RunTimeout`).
+    The retry/on_error fields are executor policy and ignored here.
     """
-    system = ManyCoreSystem(config, workload, primitive=primitive,
-                            observe=observe)
-    return system.run(max_cycles=max_cycles)
+    opts = options if options is not None else ExperimentOptions()
+    system = ManyCoreSystem(
+        config,
+        workload,
+        primitive=primitive,
+        observe=observe,
+        fault_plan=opts.fault_plan,
+        watchdog_cycles=opts.watchdog_cycles,
+        check_protocol=opts.check_protocol,
+    )
+    return system.run(max_cycles=max_cycles, timeout_s=opts.timeout_s)
 
 
 @contextmanager
@@ -128,7 +166,8 @@ def run_plan(
     jobs: Optional[int] = None,
     cache: Union[bool, str, None] = True,
     observe_factory=None,
-) -> List[RunResult]:
+    options: Optional[ExperimentOptions] = None,
+) -> List[Optional[RunResult]]:
     """Execute a plan of :class:`RunSpec`, results in input order.
 
     ``jobs`` is the worker-process count (``None``: the ``REPRO_JOBS``
@@ -139,15 +178,23 @@ def run_plan(
     spec run inline and uncached with observability wired in; fetch each
     observation with ``Executor.observation_for`` by building the
     :class:`Executor` yourself when you need them.
+
+    ``options`` carries the robustness knobs: ``fault_plan`` /
+    ``watchdog_cycles`` / ``check_protocol`` overlay onto specs that do
+    not set their own, and ``timeout_s`` / ``retries`` / ``on_error``
+    configure the executor.  Under ``on_error="skip"`` a failed spec's
+    slot holds ``None`` instead of a result.
     """
+    opts = options if options is not None else ExperimentOptions()
+    effective = [opts.apply_to_spec(spec) for spec in specs]
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
         executor = Executor(jobs=jobs, cache_dir=cache,
                             observe_factory=observe_factory)
     else:
         executor = Executor(jobs=jobs, use_cache=bool(cache),
                             observe_factory=observe_factory)
-    by_spec = executor.run(list(specs))
-    return [by_spec[spec] for spec in specs]
+    by_spec = executor.run(effective, **opts.executor_policy())
+    return [by_spec[spec] for spec in effective]
 
 
 # ----------------------------------------------------------------------

@@ -45,6 +45,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="microbench: competing threads")
     parser.add_argument("--home", type=int, default=53,
                         help="microbench: lock home node")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="deterministic fault plan, e.g. "
+                             "'drop:0.01' or 'drop:1/Inv#2000..4000,"
+                             "delay:0.2@router:53+16' (see repro.faults)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault plan's RNG stream")
+    parser.add_argument("--watchdog", type=int, default=None,
+                        metavar="CYCLES",
+                        help="arm the liveness watchdog: raise "
+                             "LivelockDetected after this many cycles "
+                             "without forward progress")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-run wall-clock budget (RunTimeout past "
+                             "it; timed-out runs are never cached)")
+    parser.add_argument("--check-protocol", action="store_true",
+                        help="attach the online coherence protocol checker")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
     parser.add_argument("--cache-dir", default=None,
@@ -75,7 +92,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     primitive = canonical_primitive(args.primitive)
     executor = Executor(
-        jobs=1, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=1, cache_dir=args.cache_dir, use_cache=not args.no_cache,
+        timeout_s=args.timeout,
+    )
+    fault_plan = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    robust = dict(
+        fault_plan=fault_plan,
+        watchdog_cycles=args.watchdog,
+        check_protocol=args.check_protocol,
     )
     if args.benchmark == "microbench":
         spec = RunSpec.microbench(
@@ -84,6 +112,7 @@ def main(argv=None) -> int:
             primitive=primitive,
             seed=args.seed,
             config=replace(SystemConfig(), num_threads=args.threads),
+            **robust,
         )
     else:
         spec = RunSpec(
@@ -92,6 +121,7 @@ def main(argv=None) -> int:
             primitive=primitive,
             scale=args.scale,
             seed=args.seed,
+            **robust,
         )
     traced = args.trace or args.trace_out is not None
     observe = None
@@ -105,7 +135,7 @@ def main(argv=None) -> int:
         # observed runs execute inline and never touch the cache: cached
         # results carry no trace ring, and traced payloads must not leak
         # into unobserved plans.
-        result = execute_spec(spec, observe=observe)
+        result = execute_spec(spec, observe=observe, timeout_s=args.timeout)
     else:
         result = executor.run_one(spec)
     if args.json:

@@ -23,15 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from ..errors import ProtocolViolation
 from ..sim import Component, Simulator
 from .states import L1State
 
 if TYPE_CHECKING:  # pragma: no cover
     from .memsystem import MemorySystem
 
-
-class ProtocolViolation(AssertionError):
-    """A coherence invariant failed during simulation."""
+__all__ = ["CheckerReport", "ProtocolChecker", "ProtocolViolation"]
 
 
 @dataclass

@@ -1,0 +1,144 @@
+"""``repro.errors``: the single exception hierarchy of the reproduction.
+
+Everything the library raises on purpose derives from :class:`ReproError`,
+so callers can fence off *any* simulation/execution failure with one
+``except`` clause while still discriminating the interesting cases::
+
+    from repro import errors
+
+    try:
+        result = api.simulate(config, workload, "tas")
+    except errors.LivelockDetected as err:
+        print(err.stalled_threads, err.locks)
+    except errors.ReproError:
+        ...
+
+Historically three of these classes lived next to the code that raised
+them (``repro.system.DeadlockError``, ``repro.sim.kernel.SimulationError``,
+``repro.coherence.checker.ProtocolViolation``); those import paths keep
+working as aliases of the classes below.  The secondary bases
+(``RuntimeError``, ``AssertionError``) are preserved so pre-existing
+``except RuntimeError`` / ``except AssertionError`` handlers continue to
+catch what they used to.
+
+This module is dependency-free on purpose: it is imported by the kernel,
+the coherence layer, the executor and the fault subsystem, and must never
+participate in an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "DeadlockError",
+    "ExecutorError",
+    "LivelockDetected",
+    "ProtocolViolation",
+    "ReproError",
+    "RunTimeout",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every intentional failure the library raises."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Kernel misuse or a simulation that cannot make progress.
+
+    (Re-homed from ``repro.sim.kernel``; ``RuntimeError`` stays a base so
+    legacy handlers keep catching it.)
+    """
+
+
+class DeadlockError(SimulationError):
+    """The ROI did not finish within the cycle budget.
+
+    (Re-homed from ``repro.system``.  Now a :class:`SimulationError`:
+    a deadlocked ROI is one way a simulation fails to make progress.)
+    """
+
+
+class LivelockDetected(SimulationError):
+    """The liveness watchdog saw no forward progress for a full window.
+
+    Unlike :class:`DeadlockError` (cycle budget exhausted, or the event
+    queue drained with threads still pending), a livelock is *active*
+    non-progress: events keep firing — spinning cores, polling loops,
+    retransmissions — while the progress signature (lock acquisitions /
+    releases, finished threads) stays frozen.  The structured fields
+    mirror the ``repro.obs`` counters the watchdog samples.
+    """
+
+    def __init__(
+        self,
+        message: str = "no forward progress",
+        *,
+        cycle: Optional[int] = None,
+        window: Optional[int] = None,
+        stalled_threads: Tuple[int, ...] = (),
+        locks: Optional[Dict[int, int]] = None,
+    ):
+        super().__init__(message)
+        #: cycle the watchdog fired at
+        self.cycle = cycle
+        #: size of the no-progress window, cycles
+        self.window = window
+        #: thread ids that had not finished when the watchdog fired
+        self.stalled_threads = tuple(stalled_threads)
+        #: ``lock_id -> acquisitions`` at detection time
+        self.locks = dict(locks or {})
+
+
+class ProtocolViolation(ReproError, AssertionError):
+    """A coherence invariant failed during simulation.
+
+    (Re-homed from ``repro.coherence.checker``; ``AssertionError`` stays
+    a base for backward compatibility.)
+    """
+
+
+class RunTimeout(ReproError):
+    """A run exhausted its wall-clock budget before finishing its ROI.
+
+    Raised from inside the kernel's run loop (the deadline check), so it
+    aborts the simulation wherever it happens to be; the executor treats
+    it as a per-run failure and never caches the partial run.
+    """
+
+    def __init__(
+        self,
+        message: str = "wall-clock budget exhausted",
+        *,
+        timeout_s: Optional[float] = None,
+        cycle: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+        self.cycle = cycle
+
+
+class ExecutorError(ReproError):
+    """A run failed inside the executor (inline or in a pool worker).
+
+    Carries the originating spec's identity — content-address
+    ``fingerprint`` and human ``spec_label`` — plus the worker's
+    formatted ``worker_traceback`` when the failure crossed a process
+    boundary (a pickled exception loses its traceback, so workers ship
+    the text alongside).
+    """
+
+    def __init__(
+        self,
+        message: str = "run failed",
+        *,
+        fingerprint: Optional[str] = None,
+        spec_label: Optional[str] = None,
+        worker_traceback: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.spec_label = spec_label
+        self.worker_traceback = worker_traceback

@@ -19,10 +19,13 @@ from .cache import (
 from .executor import (
     ExecStats,
     Executor,
+    FailureRecord,
     JOBS_ENV,
+    ON_ERROR_MODES,
     RunRecord,
     default_jobs,
     execute_spec,
+    is_transient_error,
 )
 from .spec import MICROBENCH, RunSpec
 
@@ -31,13 +34,16 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ExecStats",
     "Executor",
+    "FailureRecord",
     "JOBS_ENV",
     "MICROBENCH",
     "NullCache",
+    "ON_ERROR_MODES",
     "ResultCache",
     "RunRecord",
     "RunSpec",
     "default_cache_dir",
     "default_jobs",
     "execute_spec",
+    "is_transient_error",
 ]

@@ -15,16 +15,41 @@ The execution pipeline for a plan (a sequence of :class:`RunSpec`):
 
 ``jobs`` defaults to the ``REPRO_JOBS`` environment variable, else 1;
 ``jobs=0`` means one worker per CPU.
+
+Resilience policy (new with ``repro.faults``):
+
+* ``timeout_s`` — a per-run wall-clock budget, enforced *inside* the
+  simulation kernel (``Simulator.run(deadline=...)``) so it works
+  identically inline and in pool workers; a timed-out run raises
+  :class:`~repro.errors.RunTimeout` and is **never cached**.
+* ``retries`` / ``backoff_s`` — *transient* failures (infra errors:
+  ``OSError``, a broken pool, ...) are retried with exponential backoff.
+  Deterministic simulation failures (:class:`~repro.errors.ReproError`
+  subclasses — deadlock, livelock, protocol violation, timeout) never
+  retry: the same spec replays the same failure.
+* ``on_error`` — ``"raise"`` (default) propagates the first failure
+  (inline: the original exception, for backward compatibility; pool:
+  an :class:`~repro.errors.ExecutorError` carrying the spec fingerprint
+  and the worker's traceback text).  ``"skip"`` degrades gracefully:
+  failed specs map to ``None`` in the returned dict and the failure is
+  recorded in :class:`ExecStats` for the execution-summary footer.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ExecutorError, ReproError
 from ..stats.metrics import RunResult
 from ..stats.serialize import (
     RESULT_SCHEMA_VERSION,
@@ -36,6 +61,22 @@ from .spec import RunSpec
 
 #: environment override for the default worker count
 JOBS_ENV = "REPRO_JOBS"
+
+#: the ``on_error`` policy values
+ON_ERROR_MODES = ("raise", "skip")
+
+#: error shapes worth retrying: infrastructure, not simulation.  A
+#: :class:`ReproError` is definitionally deterministic (a run is a pure
+#: function of its spec) and is excluded even when it subclasses one of
+#: these (``SimulationError`` is a ``RuntimeError``, for instance).
+_TRANSIENT_ERRORS = (OSError, EOFError, BrokenExecutor)
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """Would re-running the same spec plausibly succeed?"""
+    if isinstance(error, ReproError):
+        return False
+    return isinstance(error, _TRANSIENT_ERRORS)
 
 
 def default_jobs() -> int:
@@ -61,12 +102,17 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 # ----------------------------------------------------------------------
 # Spec execution (shared by the in-process path and pool workers)
 # ----------------------------------------------------------------------
-def execute_spec(spec: RunSpec, observe=None) -> RunResult:
+def execute_spec(
+    spec: RunSpec, observe=None, timeout_s: Optional[float] = None
+) -> RunResult:
     """Run one simulation exactly as its spec describes it.
 
     ``observe`` (a :class:`repro.obs.Observation`) wires observability
     into the assembled system; it never enters the spec's fingerprint —
-    traced and untraced runs of one spec are bit-exact.
+    traced and untraced runs of one spec are bit-exact.  ``timeout_s``
+    is the executor's per-run wall-clock budget (not part of the spec
+    either: it cannot change a completed run's result, only whether the
+    run completes).
     """
     from ..system import ManyCoreSystem, run_benchmark
 
@@ -81,9 +127,15 @@ def execute_spec(spec: RunSpec, observe=None) -> RunResult:
             **spec.microbench_params(),
         )
         system = ManyCoreSystem(
-            cfg, workload, primitive=spec.primitive, observe=observe
+            cfg,
+            workload,
+            primitive=spec.primitive,
+            observe=observe,
+            fault_plan=spec.fault_plan,
+            watchdog_cycles=spec.watchdog_cycles,
+            check_protocol=spec.check_protocol,
         )
-        return system.run(max_cycles=spec.max_cycles)
+        return system.run(max_cycles=spec.max_cycles, timeout_s=timeout_s)
     return run_benchmark(
         spec.benchmark,
         mechanism=None,  # already resolved into cfg
@@ -94,13 +146,32 @@ def execute_spec(spec: RunSpec, observe=None) -> RunResult:
         lock_homes=spec.lock_homes,
         max_cycles=spec.max_cycles,
         observe=observe,
+        fault_plan=spec.fault_plan,
+        watchdog_cycles=spec.watchdog_cycles,
+        check_protocol=spec.check_protocol,
+        timeout_s=timeout_s,
     )
 
 
-def _pool_worker(spec: RunSpec) -> Tuple[str, Dict, float]:
-    """Subprocess entry point: run, serialize, report wall time."""
+def _pool_worker(
+    spec: RunSpec, timeout_s: Optional[float] = None
+) -> Tuple[str, Dict, float]:
+    """Subprocess entry point: run, serialize, report wall time.
+
+    On failure the formatted traceback is attached to the exception
+    (``_repro_traceback``) before it crosses the process boundary —
+    pickling keeps ``__dict__``, so the parent can report *where* in the
+    worker the run died, not just the exception repr.
+    """
     start = time.perf_counter()
-    result = execute_spec(spec)
+    try:
+        result = execute_spec(spec, timeout_s=timeout_s)
+    except BaseException as err:
+        try:
+            err._repro_traceback = traceback.format_exc()
+        except Exception:  # exotic __slots__ exceptions: skip the extra
+            pass
+        raise
     wall = time.perf_counter() - start
     return spec.fingerprint, serialize_run_result(result), wall
 
@@ -124,20 +195,43 @@ class RunRecord:
 
 
 @dataclass
+class FailureRecord:
+    """Provenance of one run that failed (``on_error="skip"``)."""
+
+    fingerprint: str
+    label: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    wall_time: float = 0.0
+
+    def render(self) -> str:
+        first_line = self.message.splitlines()[0] if self.message else ""
+        retry = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return (
+            f"  FAILED {self.label} [{self.error_type}]{retry}: "
+            f"{first_line} (fp={self.fingerprint[:12]})"
+        )
+
+
+@dataclass
 class ExecStats:
     """Counters the ``inpg-experiments`` footer reports."""
 
     executed: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    failed: int = 0
     wall_time: float = 0.0
     sim_cycles: int = 0
     sim_events: int = 0
     records: List[RunRecord] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
 
     @property
     def requested(self) -> int:
-        return self.executed + self.memory_hits + self.disk_hits
+        return (self.executed + self.memory_hits + self.disk_hits
+                + self.failed)
 
     @property
     def cache_hits(self) -> int:
@@ -154,6 +248,11 @@ class ExecStats:
         self.sim_events += record.sim_events
         self.records.append(record)
 
+    def record_failure(self, record: FailureRecord) -> None:
+        self.failed += 1
+        self.wall_time += record.wall_time
+        self.failures.append(record)
+
     def render_footer(
         self, jobs: int = 1, cache_dir: Optional[str] = None
     ) -> str:
@@ -164,6 +263,7 @@ class ExecStats:
             f"cache hits: {self.cache_hits} "
             f"({self.disk_hits} disk, {self.memory_hits} memory) | "
             f"hit rate: {100.0 * self.hit_rate:.1f}%"
+            + (f" | failed: {self.failed}" if self.failed else "")
         )
         rate = self.sim_events / self.wall_time if self.wall_time else 0.0
         lines.append(
@@ -179,6 +279,9 @@ class ExecStats:
                 f" Mev/s | slowest: {slowest.label} "
                 f"({slowest.wall_time:.1f}s)"
             )
+        if self.failures:
+            lines.append(f"failures ({self.failed}, on_error=skip):")
+            lines.extend(record.render() for record in self.failures)
         where = cache_dir if cache_dir else "disabled"
         lines.append(f"cache: {where} (schema v{RESULT_SCHEMA_VERSION})")
         return "\n".join(lines)
@@ -188,7 +291,12 @@ class ExecStats:
 # Executor
 # ----------------------------------------------------------------------
 class Executor:
-    """Runs :class:`RunSpec` plans with caching and optional parallelism."""
+    """Runs :class:`RunSpec` plans with caching and optional parallelism.
+
+    The resilience policy (``timeout_s`` / ``retries`` / ``backoff_s`` /
+    ``on_error``, see the module docstring) is set at construction and
+    can be overridden per :meth:`run` call.
+    """
 
     def __init__(
         self,
@@ -197,6 +305,10 @@ class Executor:
         cache_dir: Optional[os.PathLike] = None,
         use_cache: bool = True,
         observe_factory=None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        backoff_s: float = 0.5,
+        on_error: str = "raise",
     ):
         self.jobs = resolve_jobs(jobs)
         if cache is not None:
@@ -205,6 +317,16 @@ class Executor:
             self.cache = ResultCache(cache_dir)
         else:
             self.cache = NullCache()
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.on_error = on_error
         self.stats = ExecStats()
         self._memory: Dict[str, RunResult] = {}
         #: ``spec -> Observation`` factory.  When set, every unique spec
@@ -215,8 +337,27 @@ class Executor:
         self.observations: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
-    def run(self, plan: Sequence[RunSpec]) -> Dict[RunSpec, RunResult]:
-        """Execute a plan; returns spec -> result for every input spec."""
+    def run(
+        self,
+        plan: Sequence[RunSpec],
+        *,
+        timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        on_error: Optional[str] = None,
+    ) -> Dict[RunSpec, Optional[RunResult]]:
+        """Execute a plan; returns spec -> result for every input spec.
+
+        Under ``on_error="skip"`` a failed spec maps to ``None`` and its
+        failure is recorded in ``self.stats.failures``; under ``"raise"``
+        (the default) every value is a :class:`RunResult`.
+        """
+        timeout_s = self.timeout_s if timeout_s is None else timeout_s
+        retries = self.retries if retries is None else retries
+        on_error = self.on_error if on_error is None else on_error
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
         specs = list(plan)
         fingerprints = [spec.fingerprint for spec in specs]
         todo: Dict[str, RunSpec] = {}  # deduped fingerprint -> one spec
@@ -227,20 +368,21 @@ class Executor:
                 todo[fp] = spec
 
         if self.observe_factory is not None:
-            self._run_observed(todo)
+            self._run_observed(todo, timeout_s, retries, on_error)
         else:
             missing = self._load_from_disk(todo)
             if missing:
                 if self.jobs > 1 and len(missing) > 1:
-                    self._run_pool(missing)
+                    self._run_pool(missing, timeout_s, retries, on_error)
                 else:
-                    self._run_inline(missing)
+                    self._run_inline(missing, timeout_s, retries, on_error)
         return {
-            spec: self._memory[fp] for spec, fp in zip(specs, fingerprints)
+            spec: self._memory.get(fp)
+            for spec, fp in zip(specs, fingerprints)
         }
 
-    def run_one(self, spec: RunSpec) -> RunResult:
-        return self.run([spec])[spec]
+    def run_one(self, spec: RunSpec, **policy) -> Optional[RunResult]:
+        return self.run([spec], **policy)[spec]
 
     def observation_for(self, spec: RunSpec):
         """The Observation wired into ``spec``'s run (observed plans only)."""
@@ -284,46 +426,123 @@ class Executor:
             meta={"wall_time": wall},
         )
 
-    def _run_inline(self, missing: Dict[str, RunSpec]) -> None:
-        for fp, spec in missing.items():
-            start = time.perf_counter()
-            result = execute_spec(spec)
-            self._store(spec, fp, result, time.perf_counter() - start)
+    def _failure(self, spec: RunSpec, fp: str, error: BaseException,
+                 attempts: int, wall: float) -> FailureRecord:
+        record = FailureRecord(
+            fingerprint=fp,
+            label=spec.label(),
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=attempts,
+            wall_time=wall,
+        )
+        self.stats.record_failure(record)
+        return record
 
-    def _run_observed(self, todo: Dict[str, RunSpec]) -> None:
-        for fp, spec in todo.items():
-            observe = self.observe_factory(spec)
-            start = time.perf_counter()
-            result = execute_spec(spec, observe=observe)
+    def _attempt_inline(
+        self,
+        fp: str,
+        spec: RunSpec,
+        timeout_s: Optional[float],
+        retries: int,
+        on_error: str,
+        observe=None,
+    ) -> None:
+        """One spec through the retry/skip policy, in this process.
+
+        Under ``on_error="raise"`` the *original* exception propagates
+        (existing ``except DeadlockError`` callers keep working); the
+        pool path wraps failures in :class:`ExecutorError` instead since
+        there the original traceback lives in another process.
+        """
+        attempts = 0
+        start = time.perf_counter()
+        while True:
+            attempts += 1
+            try:
+                result = execute_spec(spec, observe=observe,
+                                      timeout_s=timeout_s)
+            except Exception as error:
+                if attempts <= retries and is_transient_error(error):
+                    time.sleep(self.backoff_s * 2 ** (attempts - 1))
+                    continue
+                wall = time.perf_counter() - start
+                if on_error == "skip":
+                    self._failure(spec, fp, error, attempts, wall)
+                    return
+                raise
             wall = time.perf_counter() - start
-            self._memory[fp] = result
-            self.observations[fp] = observe
-            self.stats.record_run(
-                RunRecord(
-                    fingerprint=fp,
-                    label=spec.label(),
-                    wall_time=wall,
-                    sim_cycles=result.roi_cycles,
-                    sim_events=int(result.extra.get("sim_events", 0)),
+            if observe is not None:
+                self._memory[fp] = result
+                self.observations[fp] = observe
+                self.stats.record_run(
+                    RunRecord(
+                        fingerprint=fp,
+                        label=spec.label(),
+                        wall_time=wall,
+                        sim_cycles=result.roi_cycles,
+                        sim_events=int(result.extra.get("sim_events", 0)),
+                    )
                 )
-            )
+            else:
+                self._store(spec, fp, result, wall)
+            return
 
-    def _run_pool(self, missing: Dict[str, RunSpec]) -> None:
+    def _run_inline(self, missing: Dict[str, RunSpec],
+                    timeout_s: Optional[float], retries: int,
+                    on_error: str) -> None:
+        for fp, spec in missing.items():
+            self._attempt_inline(fp, spec, timeout_s, retries, on_error)
+
+    def _run_observed(self, todo: Dict[str, RunSpec],
+                      timeout_s: Optional[float], retries: int,
+                      on_error: str) -> None:
+        for fp, spec in todo.items():
+            self._attempt_inline(fp, spec, timeout_s, retries, on_error,
+                                 observe=self.observe_factory(spec))
+
+    def _run_pool(self, missing: Dict[str, RunSpec],
+                  timeout_s: Optional[float], retries: int,
+                  on_error: str) -> None:
         workers = min(self.jobs, len(missing))
+        starts = {fp: time.perf_counter() for fp in missing}
+        attempts = {fp: 0 for fp in missing}
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_pool_worker, spec): (fp, spec)
-                for fp, spec in missing.items()
-            }
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            for future in not_done:
-                future.cancel()
-            for future in done:
-                fp, spec = futures[future]
-                error = future.exception()
-                if error is not None:
-                    raise RuntimeError(
-                        f"worker failed for {spec.label()}: {error}"
+            futures = {}
+            for fp, spec in missing.items():
+                attempts[fp] = 1
+                futures[pool.submit(_pool_worker, spec, timeout_s)] = (
+                    fp, spec)
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    fp, spec = futures.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        _, payload, wall = future.result()
+                        self._store(spec, fp,
+                                    deserialize_run_result(payload), wall)
+                        continue
+                    if (attempts[fp] <= retries
+                            and is_transient_error(error)):
+                        time.sleep(self.backoff_s * 2 ** (attempts[fp] - 1))
+                        attempts[fp] += 1
+                        retry = pool.submit(_pool_worker, spec, timeout_s)
+                        futures[retry] = (fp, spec)
+                        pending.add(retry)
+                        continue
+                    wall = time.perf_counter() - starts[fp]
+                    if on_error == "skip":
+                        self._failure(spec, fp, error, attempts[fp], wall)
+                        continue
+                    for other in pending:
+                        other.cancel()
+                    raise ExecutorError(
+                        f"worker failed for {spec.label()}: "
+                        f"{type(error).__name__}: {error}",
+                        fingerprint=fp,
+                        spec_label=spec.label(),
+                        worker_traceback=getattr(
+                            error, "_repro_traceback", None),
                     ) from error
-                _, payload, wall = future.result()
-                self._store(spec, fp, deserialize_run_result(payload), wall)

@@ -20,9 +20,12 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, TYPE_CHECKING, Tuple
 
 from ..config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultPlan
 
 #: bump when the canonical payload below changes shape
 SPEC_SCHEMA_VERSION = 1
@@ -55,6 +58,11 @@ class RunSpec:
     workload; ``cs_per_thread`` / ``cs_cycles`` / ``parallel_cycles``
     parameterize it (``None`` picks the generator defaults) and
     ``lock_homes`` pins its home node.
+
+    The robustness knobs (``fault_plan``, ``watchdog_cycles``,
+    ``check_protocol``) change what the simulation *does*, so they enter
+    the canonical payload — but only when set, which keeps every
+    pre-existing fingerprint (and thus every cached result) stable.
     """
 
     benchmark: str
@@ -68,6 +76,12 @@ class RunSpec:
     cs_per_thread: Optional[int] = None
     cs_cycles: Optional[int] = None
     parallel_cycles: Optional[int] = None
+    #: deterministic NoC fault injection (:class:`repro.faults.FaultPlan`)
+    fault_plan: Optional["FaultPlan"] = None
+    #: arm the liveness watchdog with this no-progress window (cycles)
+    watchdog_cycles: Optional[int] = None
+    #: attach the online coherence :class:`~repro.coherence.checker.ProtocolChecker`
+    check_protocol: bool = False
 
     def __post_init__(self):
         # normalize so equal specs hash equally regardless of the
@@ -130,6 +144,14 @@ class RunSpec:
         }
         if self.is_microbench:
             payload["workload"] = self.microbench_params()
+        # robustness knobs: keys exist only when active so legacy
+        # fingerprints (= cache addresses) are untouched
+        if self.fault_plan is not None and self.fault_plan.enabled:
+            payload["faults"] = self.fault_plan.canonical_payload()
+        if self.watchdog_cycles:
+            payload["watchdog_cycles"] = int(self.watchdog_cycles)
+        if self.check_protocol:
+            payload["check_protocol"] = True
         return payload
 
     @property
@@ -143,7 +165,10 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable identity for logs and errors."""
         mech = self.mechanism if self.mechanism is not None else "custom-cfg"
-        return (
+        text = (
             f"{self.benchmark}[{mech}/{self.primitive}"
-            f" scale={self.scale} seed={self.seed}]"
+            f" scale={self.scale} seed={self.seed}"
         )
+        if self.fault_plan is not None and self.fault_plan.enabled:
+            text += f" faults={self.fault_plan.describe()}"
+        return text + "]"

@@ -82,6 +82,8 @@ def run(options: "ExperimentOptions" = None) -> AblationResult:
     for label, raw_spin, nacks in VARIANTS:
         base = results[specs[(label, "original")]]
         inpg = results[specs[(label, "inpg")]]
+        if base is None or inpg is None:
+            continue  # on_error="skip": drop the partial row
         result.rows.append(
             AblationRow(
                 label=label,

@@ -24,13 +24,17 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..config import MECHANISMS, SystemConfig
 from ..exec import Executor, RunSpec
 from ..stats.metrics import RunResult
 from ..workloads.profiles import ALL_PROFILES, group_of, grouped_profiles
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultPlan
 
 #: process-wide executor all harnesses share (lazily constructed so the
 #: environment knobs are read at first use, not import)
@@ -60,7 +64,14 @@ class ExperimentOptions:
     defaults; the unified signature is ``run(options=None, *, ...)``
     with per-figure extras staying keyword-only.  The legacy ``quick=``
     and ``scale=`` keywords remain accepted everywhere (see
-    :func:`resolve_options`), so pre-existing callers keep working.
+    :func:`resolve_options`) but are deprecated.
+
+    The robustness knobs ride here too, so fault campaigns and resilient
+    sweeps configure ``simulate()`` / ``run_plan()`` / every ``fig*``
+    harness through one path: ``fault_plan`` and ``watchdog_cycles``
+    overlay onto any spec that does not set its own, while ``timeout_s``
+    / ``retries`` / ``on_error`` are pure execution policy (``None`` =
+    the executor's configured default).
     """
 
     #: representative 6-benchmark subset (False sweeps all 24 programs)
@@ -69,9 +80,48 @@ class ExperimentOptions:
     scale: float = 1.0
     #: workload generation seed (the paper runs pin 2018)
     seed: int = 2018
+    #: deterministic NoC fault injection (:class:`repro.faults.FaultPlan`)
+    fault_plan: Optional["FaultPlan"] = None
+    #: liveness-watchdog no-progress window (cycles); None = disarmed
+    watchdog_cycles: Optional[int] = None
+    #: attach the online coherence protocol checker to every run
+    check_protocol: bool = False
+    #: per-run wall-clock budget (seconds); a timed-out run raises
+    #: :class:`~repro.errors.RunTimeout` and is never cached
+    timeout_s: Optional[float] = None
+    #: bounded retry count for *transient* (infra) worker failures
+    retries: Optional[int] = None
+    #: ``"raise"`` propagates the first failure; ``"skip"`` returns
+    #: partial results with failures recorded in the execution summary
+    on_error: Optional[str] = None
 
     def benchmarks(self) -> List[str]:
         return benchmarks_for(self.quick)
+
+    def apply_to_spec(self, spec: RunSpec) -> RunSpec:
+        """Overlay the robustness knobs onto ``spec``.
+
+        A spec's own ``fault_plan`` / ``watchdog_cycles`` /
+        ``check_protocol`` always win — the overlay fills gaps only, so
+        harness-built plans can pin per-run fault scenarios while the
+        campaign sets the sweep-wide default.
+        """
+        updates = {}
+        if self.fault_plan is not None and spec.fault_plan is None:
+            updates["fault_plan"] = self.fault_plan
+        if self.watchdog_cycles is not None and spec.watchdog_cycles is None:
+            updates["watchdog_cycles"] = self.watchdog_cycles
+        if self.check_protocol and not spec.check_protocol:
+            updates["check_protocol"] = True
+        return replace(spec, **updates) if updates else spec
+
+    def executor_policy(self) -> Dict[str, object]:
+        """The per-call :meth:`repro.exec.Executor.run` policy kwargs."""
+        return {
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "on_error": self.on_error,
+        }
 
 
 def resolve_options(
@@ -83,9 +133,18 @@ def resolve_options(
     """Merge an options value with the legacy ``quick=``/``scale=`` kwargs.
 
     Explicit legacy keywords win over the corresponding ``options``
-    field, matching what the old per-figure signatures did.
+    field, matching what the old per-figure signatures did.  The legacy
+    keywords are deprecated (warn, don't break): pass an
+    :class:`ExperimentOptions` instead.
     """
     opts = options if options is not None else ExperimentOptions()
+    if quick is not None or scale is not None:
+        warnings.warn(
+            "the quick=/scale= keywords are deprecated; pass "
+            "options=ExperimentOptions(quick=..., scale=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     if quick is not None:
         opts = replace(opts, quick=quick)
     if scale is not None:
@@ -97,17 +156,21 @@ def execute(
     plan: Sequence[RunSpec],
     *,
     options: Optional[ExperimentOptions] = None,
-) -> Dict[RunSpec, RunResult]:
+) -> Dict[RunSpec, Optional[RunResult]]:
     """Run a plan through the shared executor.
 
-    ``options`` is the harness's resolved :class:`ExperimentOptions`.
-    The spec fingerprints already capture everything that affects the
-    results, so today the shared layer only carries it; every harness
-    routing its options through here means plan-wide execution policy
-    has a single landing point instead of twelve.
+    ``options`` is the harness's resolved :class:`ExperimentOptions`;
+    its robustness knobs overlay onto each spec (spec wins) and its
+    execution policy rides into the shared executor for this call.  The
+    returned dict is keyed by the *caller's* spec objects, so harnesses
+    index with the specs they built even when the overlay rewrote them.
+    Under ``on_error="skip"`` failed specs map to ``None``.
     """
-    del options  # carried for signature stability; specs are authoritative
-    return get_executor().run(plan)
+    opts = options if options is not None else ExperimentOptions()
+    specs = list(plan)
+    effective = [opts.apply_to_spec(spec) for spec in specs]
+    results = get_executor().run(effective, **opts.executor_policy())
+    return {orig: results[eff] for orig, eff in zip(specs, effective)}
 
 
 def full_sweep_enabled() -> bool:
@@ -167,10 +230,11 @@ def run_mechanism_matrix(
     config: Optional[SystemConfig] = None,
     *,
     options: Optional[ExperimentOptions] = None,
-) -> Dict[Tuple[str, str], RunResult]:
+) -> Dict[Tuple[str, str], Optional[RunResult]]:
     """The paper's four-case comparison over a benchmark list.
 
     ``benchmarks``/``scale`` default from ``options`` when omitted.
+    Under ``options.on_error == "skip"`` a failed run's cell is ``None``.
     """
     opts = options if options is not None else ExperimentOptions()
     if benchmarks is None:

@@ -86,7 +86,10 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
     results = execute(list(specs.values()), options=opts)
     result = Fig2Result()
     for (bench, prim), spec in specs.items():
-        result.lco.setdefault(bench, {})[prim] = results[spec].lco_fraction
+        r = results[spec]
+        if r is None:
+            continue  # on_error="skip": drop the partial cell
+        result.lco.setdefault(bench, {})[prim] = r.lco_fraction
     return result
 
 

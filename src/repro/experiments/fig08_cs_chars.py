@@ -84,6 +84,8 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
     for bench, spec in specs.items():
         profile = get_profile(bench)
         r = results[spec]
+        if r is None:
+            continue  # on_error="skip": drop the partial row
         result.stats.append(
             BenchCsStats(
                 benchmark=bench,

@@ -100,6 +100,8 @@ def run(
     results = execute(list(specs.values()), options=opts)
     for mech in MECHANISMS:
         r = results[specs[mech]]
+        if r is None:
+            continue  # on_error="skip": drop the partial row
         window = (0, min(window_cycles, r.roi_cycles))
         breakdown = r.timeline.phase_breakdown(window=window, threads=threads)
         cs_done = r.timeline.cs_completed(window=window, threads=threads)

@@ -119,7 +119,10 @@ def run(options: "ExperimentOptions" = None, *, cs_per_thread: int = 2,
     }
     results = execute(list(specs.values()), options=opts)
     for mech in ("original", "inpg"):
-        stats = results[specs[mech]].coherence
+        r = results[specs[mech]]
+        if r is None:
+            continue  # on_error="skip": drop the partial side
+        stats = r.coherence
         hist = Histogram(bin_width=5)
         hist.extend(r.rtt for r in stats.inv_records)
         early = sum(1 for r in stats.inv_records if r.early)

@@ -90,6 +90,10 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
     matrix = run_mechanism_matrix(benches, primitive="qsl", options=opts)
     for bench in benches:
         baseline = matrix[(bench, "original")]
+        if baseline is None or any(
+            matrix[(bench, mech)] is None for mech in MECHANISMS
+        ):
+            continue  # on_error="skip": drop the partial benchmark row
         result.expedition[bench] = {
             mech: matrix[(bench, mech)].cs_expedition_vs(baseline)
             for mech in MECHANISMS

@@ -97,6 +97,10 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
     matrix = run_mechanism_matrix(benches, primitive="qsl", options=opts)
     for bench in benches:
         baseline = matrix[(bench, "original")]
+        if baseline is None or any(
+            matrix[(bench, mech)] is None for mech in MECHANISMS
+        ):
+            continue  # on_error="skip": drop the partial benchmark row
         result.relative_roi[bench] = {
             mech: matrix[(bench, mech)].roi_cycles / baseline.roi_cycles
             for mech in MECHANISMS

@@ -77,6 +77,8 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
         for prim in PRIMITIVES:
             base = results[specs[(bench, prim, "original")]]
             inpg = results[specs[(bench, prim, "inpg")]]
+            if base is None or inpg is None:
+                continue  # on_error="skip": drop the partial cell
             result.reduction[bench][prim] = (
                 1.0 - inpg.roi_cycles / base.roi_cycles
             )

@@ -83,12 +83,16 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
     results = execute(list(specs.values()), options=opts)
     for bench in benches:
         baseline = results[specs[(bench, "baseline")]]
+        if baseline is None:
+            continue  # on_error="skip": nothing to normalize against
         result.expedition[bench] = {}
         for count in deployments:
             if count == 0:
                 result.expedition[bench][0] = 1.0
                 continue
             r = results[specs[(bench, count)]]
+            if r is None:
+                continue  # on_error="skip": drop the partial point
             result.expedition[bench][count] = r.cs_expedition_vs(baseline)
     return result
 

@@ -101,10 +101,13 @@ def run(
             for bench in benches:
                 baseline = results[specs[(dim, "baseline", bench)]]
                 r = results[specs[(dim, size, bench)]]
+                if baseline is None or r is None:
+                    continue  # on_error="skip": drop the partial sample
                 reductions.append(
                     1.0 - r.roi_cycles / baseline.roi_cycles
                 )
-            result.reduction[(dim, size)] = arithmetic_mean(reductions)
+            if reductions:
+                result.reduction[(dim, size)] = arithmetic_mean(reductions)
     return result
 
 

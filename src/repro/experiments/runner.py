@@ -100,6 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
              ".repro-cache/)",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget (timed-out runs fail and are "
+             "never cached)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry count for transient (infra) worker failures, with "
+             "exponential backoff",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip"), default="raise",
+        help="'skip' degrades gracefully: failed runs are recorded in "
+             "the execution summary and the sweep returns partial "
+             "results (default: raise)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="observe every run (counters + structured trace); forces "
              "inline, uncached execution",
@@ -131,6 +147,9 @@ def main(argv=None) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             observe_factory=observe_factory,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            on_error=args.on_error,
         )
     )
     options = common.ExperimentOptions(quick=not args.full, scale=args.scale)

@@ -31,7 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..config import SystemConfig
 from ..exec import RunSpec
 from ..stats.metrics import RunResult
-from .common import execute
+from .common import ExperimentOptions, execute
 
 #: axis configurator: (config, value) -> config
 Configurator = Callable[[SystemConfig, object], SystemConfig]
@@ -100,9 +100,17 @@ class Sweep:
         ):
             yield dict(zip(names, combo))
 
-    def run(self) -> List[SweepPoint]:
+    def run(
+        self, options: Optional[ExperimentOptions] = None
+    ) -> List[SweepPoint]:
         """Build the whole plan first, then execute it as one batch so
-        the executor can cache-dedup and parallelize across the sweep."""
+        the executor can cache-dedup and parallelize across the sweep.
+
+        ``options`` carries the robustness knobs (fault plan, watchdog,
+        timeout/retry/on_error policy); under ``on_error="skip"`` a
+        failed replication is simply absent from its point's results
+        (the shared executor's stats record the failure).
+        """
         out: List[SweepPoint] = []
         plan: List[Tuple[SweepPoint, RunSpec]] = []
         for coords in self.points():
@@ -123,7 +131,9 @@ class Sweep:
                         scale=self.scale,
                     ),
                 ))
-        results = execute([spec for _, spec in plan])
+        results = execute([spec for _, spec in plan], options=options)
         for point, spec in plan:
-            point.results.append(results[spec])
+            result = results[spec]
+            if result is not None:
+                point.results.append(result)
         return out

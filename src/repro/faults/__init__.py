@@ -1,0 +1,57 @@
+"""``repro.faults``: deterministic fault injection + resilient detection.
+
+The iNPG mechanism is a race against transient NoC state — barrier-table
+TTLs expiring, Inv/InvAck reordering in flight, loser-GetX conversion —
+and the interesting correctness bugs only show under delayed, reordered,
+duplicated or lost messages.  This package makes those scenarios
+first-class and *reproducible*:
+
+* :class:`FaultPlan` / :class:`FaultSite` — a frozen, fingerprinted
+  description of what to break (drop / duplicate / corrupt-tag / delay),
+  where (router / link / injection), when (cycle window), and how often
+  (seeded per-packet rate).  Plans ride inside
+  :class:`~repro.exec.RunSpec` and participate in the result-cache key.
+* :class:`FaultInjector` — realizes a plan against a built network with
+  zero cost when absent (instance-level wrappers on exactly the faulted
+  sites).
+* :class:`LivenessWatchdog` — no-progress-in-N-cycles detection,
+  raising a structured :class:`~repro.errors.LivelockDetected`.
+* :mod:`repro.faults.campaign` — the ``inpg-faults`` CLI: sweep fault
+  plans against a baseline run and report which faults were *detected*
+  (watchdog / checker / deadlock / crash) versus *silent* (run completed
+  with diverging results) versus *benign*.
+
+Quickstart::
+
+    from repro import api
+
+    plan = api.FaultPlan.parse("drop:1/Inv#3000..", seed=7)
+    spec = api.RunSpec.microbench(primitive="tas",
+                                  fault_plan=plan, watchdog_cycles=20_000)
+    try:
+        api.run_plan([spec], cache=False)
+    except api.errors.LivelockDetected as err:
+        print(err.stalled_threads)
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FAULT_KINDS,
+    FAULT_SCHEMA_VERSION,
+    FaultPlan,
+    FaultSite,
+    parse_site,
+    split_sites,
+)
+from .watchdog import LivenessWatchdog
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SCHEMA_VERSION",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "LivenessWatchdog",
+    "parse_site",
+    "split_sites",
+]

@@ -1,0 +1,241 @@
+"""Declarative fault plans: *what* to break, *where*, and *when*.
+
+A :class:`FaultPlan` is a frozen, canonically-fingerprinted value — the
+fault-space analogue of :class:`~repro.exec.RunSpec`.  It names a set of
+:class:`FaultSite` entries, each describing one fault process:
+
+* ``kind`` — ``drop`` (the packet vanishes), ``duplicate`` (a cloned
+  packet enters the datapath alongside the original), ``corrupt`` (the
+  destination tag is rewritten to a random node), or ``delay`` (the
+  packet sits for ``extra_delay`` extra cycles);
+* ``where`` — ``"*"`` (every router entry), ``"router:N"`` (packets
+  entering router ``N``), ``"link:A->B"`` (packets crossing the A→B
+  link), or ``"inject"`` (packets at network injection — the only site
+  type the flit-level fabric supports);
+* ``rate`` — per-packet-event firing probability, drawn from the plan's
+  own seeded RNG stream so fault decisions never perturb workload
+  randomness;
+* ``begin`` / ``end`` — the active cycle window (``end=None`` = forever);
+* ``message`` — optionally restrict to one coherence message type by its
+  wire name (``"Inv"``, ``"GetX"``, ``"Data"`` …), enabling campaigns
+  like *drop every Inv in this window*.
+
+Plans participate in :class:`~repro.exec.RunSpec` fingerprints (a faulted
+run is a different content address), and the same ``(seed, plan)`` pair
+replays the exact same fault decisions — fault campaigns are as
+deterministic as fault-free runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: the supported fault processes
+FAULT_KINDS = ("drop", "duplicate", "corrupt", "delay")
+
+#: bump when the canonical payload below changes shape
+FAULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One fault process at one site of the NoC."""
+
+    kind: str
+    rate: float = 1.0
+    where: str = "*"
+    begin: int = 0
+    end: Optional[int] = None
+    #: extra cycles a ``delay`` fault holds the packet
+    extra_delay: int = 8
+    #: restrict to one coherence message type (wire name, e.g. ``"Inv"``)
+    message: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate {self.rate} outside [0, 1]")
+        if self.begin < 0:
+            raise ValueError(f"fault window begins before cycle 0: {self.begin}")
+        if self.end is not None and self.end <= self.begin:
+            raise ValueError(
+                f"empty fault window [{self.begin}, {self.end})"
+            )
+        if self.kind == "delay" and self.extra_delay < 1:
+            raise ValueError("delay faults need extra_delay >= 1")
+        _parse_where(self.where)  # validate eagerly
+
+    # ------------------------------------------------------------------
+    def active(self, cycle: int) -> bool:
+        """Is this site live at ``cycle``?"""
+        if cycle < self.begin:
+            return False
+        return self.end is None or cycle < self.end
+
+    def matches_payload(self, payload: object) -> bool:
+        """Does ``payload`` pass this site's message-type filter?"""
+        if self.message is None:
+            return True
+        mtype = getattr(payload, "mtype", None)
+        return mtype is not None and mtype.value == self.message
+
+    def payload(self) -> Dict:
+        out: Dict = {
+            "kind": self.kind,
+            "rate": float(self.rate),
+            "where": self.where,
+            "begin": self.begin,
+        }
+        if self.end is not None:
+            out["end"] = self.end
+        if self.kind == "delay":
+            out["extra_delay"] = self.extra_delay
+        if self.message is not None:
+            out["message"] = self.message
+        return out
+
+    def describe(self) -> str:
+        """Compact one-token rendering (inverse of :func:`parse_site`)."""
+        text = f"{self.kind}:{self.rate:g}"
+        if self.message is not None:
+            text += f"/{self.message}"
+        if self.where != "*":
+            text += f"@{self.where}"
+        if self.kind == "delay":
+            text += f"+{self.extra_delay}"
+        if self.begin or self.end is not None:
+            text += f"#{self.begin}..{'' if self.end is None else self.end}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault sites — the unit fault campaigns sweep."""
+
+    sites: Tuple[FaultSite, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "sites", tuple(self.sites))
+
+    @property
+    def enabled(self) -> bool:
+        """An empty plan is indistinguishable from no plan at all."""
+        return bool(self.sites)
+
+    # ------------------------------------------------------------------
+    def canonical_payload(self) -> Dict:
+        return {
+            "schema": FAULT_SCHEMA_VERSION,
+            "seed": self.seed,
+            "sites": [site.payload() for site in self.sites],
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        blob = json.dumps(
+            self.canonical_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        if not self.sites:
+            return "none"
+        return ",".join(site.describe() for site in self.sites)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse the CLI fault syntax into a plan.
+
+        Comma-separated sites, each
+        ``kind[:rate][/Message][@where][+delay][#begin..end]``::
+
+            drop:0.01                      # drop 1% of packets at every router
+            drop:1/Inv#2000..4000          # drop every Inv in a cycle window
+            delay:0.2@router:53+16         # delay 20% entering router 53
+            corrupt:0.001@link:3->4        # misroute 0.1% crossing link 3->4
+            duplicate:0.05@inject          # duplicate 5% at injection
+        """
+        sites = [parse_site(tok) for tok in text.split(",") if tok.strip()]
+        return cls(sites=tuple(sites), seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Site syntax
+# ----------------------------------------------------------------------
+def parse_site(token: str) -> FaultSite:
+    """Parse one ``kind[:rate][/Message][@where][+delay][#a..b]`` token."""
+    text = token.strip()
+    kw: Dict = {}
+    if "#" in text:
+        text, _, window = text.partition("#")
+        lo, sep, hi = window.partition("..")
+        if not sep:
+            raise ValueError(f"bad fault window {window!r} (want a..b)")
+        kw["begin"] = int(lo) if lo else 0
+        kw["end"] = int(hi) if hi else None
+    if "+" in text:
+        text, _, delay = text.partition("+")
+        kw["extra_delay"] = int(delay)
+    if "@" in text:
+        text, _, where = text.partition("@")
+        kw["where"] = where
+    if "/" in text:
+        text, _, message = text.partition("/")
+        kw["message"] = message
+    kind, sep, rate = text.partition(":")
+    if sep:
+        kw["rate"] = float(rate)
+    return FaultSite(kind=kind, **kw)
+
+
+def _parse_where(where: str) -> Tuple[str, object]:
+    """Validate and decompose a ``where`` expression.
+
+    Returns ``("*", None)``, ``("inject", None)``, ``("router", node)``
+    or ``("link", (src, dst))``.
+    """
+    if where in ("*", "inject"):
+        return where, None
+    scheme, sep, rest = where.partition(":")
+    if scheme == "router" and sep:
+        return "router", int(rest)
+    if scheme == "link" and sep and "->" in rest:
+        src, _, dst = rest.partition("->")
+        return "link", (int(src), int(dst))
+    raise ValueError(
+        f"unknown fault site {where!r} "
+        "(want '*', 'inject', 'router:N' or 'link:A->B')"
+    )
+
+
+def split_sites(
+    plan: FaultPlan,
+) -> Tuple[List[FaultSite], Dict[int, List[FaultSite]],
+           Dict[Tuple[int, int], List[FaultSite]], List[FaultSite]]:
+    """Partition a plan's sites by site class for installation.
+
+    Returns ``(router_wildcard, per_router, per_link, inject)``.
+    """
+    wildcard: List[FaultSite] = []
+    routers: Dict[int, List[FaultSite]] = {}
+    links: Dict[Tuple[int, int], List[FaultSite]] = {}
+    inject: List[FaultSite] = []
+    for site in plan.sites:
+        scheme, arg = _parse_where(site.where)
+        if scheme == "*":
+            wildcard.append(site)
+        elif scheme == "inject":
+            inject.append(site)
+        elif scheme == "router":
+            routers.setdefault(arg, []).append(site)
+        else:
+            links.setdefault(arg, []).append(site)
+    return wildcard, routers, links, inject

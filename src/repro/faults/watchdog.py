@@ -1,0 +1,85 @@
+"""Liveness watchdog: turn silent non-progress into a structured error.
+
+A deadlocked run eventually surfaces as
+:class:`~repro.errors.DeadlockError` (queue drained or cycle budget
+exhausted), but a *livelocked* run — spinning cores, polling loops,
+retry storms — burns events forever while nothing completes, and under
+fault injection that is the common failure shape: drop one Inv and the
+poller whose copy was never invalidated spins on stale data until the
+cycle budget runs out, millions of cycles later.
+
+The :class:`LivenessWatchdog` samples a progress signature every
+``period`` cycles — total lock acquisitions + releases and finished
+threads, the same quantities the ``repro.obs`` registry exposes as
+``locks/*`` and ``threads/done`` gauges — and raises
+:class:`~repro.errors.LivelockDetected` (with the stalled thread ids and
+per-lock acquisition counts) the moment a full window passes without the
+signature moving.
+
+Scheduling the periodic sample consumes kernel sequence numbers, so an
+armed watchdog changes the run's total event count but *not* the
+delivered-packet stream or any protocol decision (ties between
+pre-existing events keep their relative FIFO order).  It therefore
+defaults off; fault campaigns arm it explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import LivelockDetected
+
+
+class LivenessWatchdog:
+    """No-progress-in-N-cycles detector for one assembled system."""
+
+    def __init__(self, sim, system, period: int):
+        if period <= 0:
+            raise ValueError(f"watchdog period must be positive, got {period}")
+        self.sim = sim
+        self.system = system
+        self.period = int(period)
+        self.ticks = 0
+        self._last: Optional[Tuple[int, int, int]] = None
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Take the baseline sample and start the periodic check."""
+        self._last = self._signature()
+        self.sim.schedule(self.period, self._tick)
+
+    def _signature(self) -> Tuple[int, int, int]:
+        system = self.system
+        acquisitions = sum(lock.acquisitions for lock in system.locks)
+        releases = sum(lock.releases for lock in system.locks)
+        done = sum(1 for thread in system.threads if thread.done)
+        return (acquisitions, releases, done)
+
+    def _tick(self) -> None:
+        system = self.system
+        if system._remaining == 0:
+            return  # ROI finished; the kernel is already stopping
+        self.ticks += 1
+        signature = self._signature()
+        if signature == self._last:
+            stalled = tuple(
+                thread.thread_id for thread in system.threads
+                if not thread.done
+            )
+            locks = {
+                lock.lock_id: lock.acquisitions for lock in system.locks
+            }
+            cycle = self.sim.cycle
+            raise LivelockDetected(
+                f"no forward progress in {self.period} cycles "
+                f"(cycle {cycle}): {len(stalled)} threads stalled, "
+                f"lock acquisitions frozen at {signature[0]} "
+                f"(benchmark={system.workload.benchmark}, "
+                f"primitive={system.primitive})\n" + system.diagnose(),
+                cycle=cycle,
+                window=self.period,
+                stalled_threads=stalled,
+                locks=locks,
+            )
+        self._last = signature
+        self.sim.schedule(self.period, self._tick)

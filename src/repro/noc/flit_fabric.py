@@ -32,6 +32,12 @@ EndpointHandler = Callable[[Packet], None]
 class FlitFabric(Component):
     """Network-interface-compatible wrapper over :class:`FlitNetwork`."""
 
+    #: injection-site fault filter ``(packet, forward) -> consumed``;
+    #: rebound by ``repro.faults.FaultInjector.install``.  The flit model
+    #: has no per-router hooks, so ``inject`` is the only site type the
+    #: fabric supports (router/link sites raise at install time).
+    _fault_inject = None
+
     def __init__(self, sim: Simulator, config: NocConfig,
                  priority_arbitration: bool = False):
         super().__init__(sim, "flitfabric")
@@ -44,6 +50,8 @@ class FlitFabric(Component):
         self.packets_injected = 0
         self.packets_delivered = 0
         self.packets_consumed = 0
+        #: packets consumed by fault injection (never entered the fabric)
+        self.packets_dropped = 0
         self.total_latency = 0
         #: kept for interface parity with Network
         self.memsys = None
@@ -71,8 +79,19 @@ class FlitFabric(Component):
         )
         shadow.injected_cycle = self.now
         self.packets_injected += 1
+        fi = self._fault_inject
+        if fi is not None:
+            if not fi(shadow, self._inject):
+                self._inject(shadow)
+            return shadow
         self.fabric.send(src, dst, size_flits, payload=shadow)
         return shadow
+
+    def _inject(self, shadow: Packet) -> None:
+        """Enter the flit fabric (faulted injection continuation — ``dst``
+        may have been corrupted, so re-read it from the shadow packet)."""
+        self.fabric.send(shadow.src, shadow.dst, shadow.size_flits,
+                         payload=shadow)
 
     def _on_delivery(self, flit_packet: FlitPacket) -> None:
         shadow: Packet = flit_packet.payload
@@ -107,4 +126,5 @@ class FlitFabric(Component):
 
     @property
     def in_flight(self) -> int:
-        return self.packets_injected - self.packets_delivered
+        return (self.packets_injected - self.packets_delivered
+                - self.packets_dropped)

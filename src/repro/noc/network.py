@@ -29,6 +29,12 @@ class Network(Component):
     #: ``None`` on untraced runs so the hot paths pay a single identity test.
     _trace = None
 
+    #: injection-site fault filter ``(packet, forward) -> consumed``;
+    #: rebound by ``repro.faults.FaultInjector.install`` when the plan
+    #: names ``inject`` sites.  Same zero-cost-when-off contract as
+    #: ``_trace``: unfaulted runs pay one identity test per injection.
+    _fault_inject = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -55,6 +61,8 @@ class Network(Component):
         self.packets_injected = 0
         self.packets_delivered = 0
         self.packets_consumed = 0
+        #: packets consumed by fault injection (never delivered)
+        self.packets_dropped = 0
         self.total_latency = 0
         self.total_hops = 0
 
@@ -100,8 +108,18 @@ class Network(Component):
         if tr is not None:
             tr(f"core/{src}", "net.inject", dst=dst, flits=size_flits,
                priority=priority)
+        fi = self._fault_inject
+        if fi is not None:
+            if not fi(packet, self._inject):
+                self._inject(packet)
+            return packet
         self.routers[src].accept(packet)
         return packet
+
+    def _inject(self, packet: Packet) -> None:
+        """Enter the datapath at the packet's source router (the faulted
+        injection continuation — ``dst`` may have been corrupted)."""
+        self.routers[packet.src].accept(packet)
 
     def reinject(self, router_node: int, packet: Packet) -> None:
         """Inject a router-generated packet at ``router_node`` (iNPG).
@@ -115,6 +133,12 @@ class Network(Component):
         if tr is not None:
             tr(f"big/{router_node}", "net.inject", dst=packet.dst,
                flits=packet.size_flits, generated=1)
+        fi = self._fault_inject
+        if fi is not None:
+            forward = self.routers[router_node].forward_now
+            if not fi(packet, forward):
+                forward(packet)
+            return
         self.routers[router_node].forward_now(packet)
 
     def deliver_local(self, packet: Packet) -> None:
@@ -151,7 +175,8 @@ class Network(Component):
 
     @property
     def in_flight(self) -> int:
-        return self.packets_injected - self.packets_delivered - self.packets_consumed
+        return (self.packets_injected - self.packets_delivered
+                - self.packets_consumed - self.packets_dropped)
 
     def big_router_nodes(self) -> list:
         """Node ids whose routers are iNPG big routers."""

@@ -70,7 +70,13 @@ class Router(Component):
     # ------------------------------------------------------------------
     def wire(self) -> None:
         """Pre-bind the downstream ``accept`` of each neighbour so a port
-        grant schedules the link traversal without allocating a closure."""
+        grant schedules the link traversal without allocating a closure.
+
+        Idempotent, and deliberately so: ``repro.faults`` installs
+        per-router fault wrappers as instance-level ``accept``
+        attributes, then re-runs ``wire()`` on every router so the
+        pre-bound handlers capture the wrapped entry points (link-site
+        wrappers are layered afterwards via :meth:`wrap_link`)."""
         schedule = self.sim.schedule
         link = self.link_cycles
         for neighbor in self.network.mesh.neighbors(self.node):
@@ -81,6 +87,23 @@ class Router(Component):
 
             self._grant_handlers[neighbor] = on_granted
         self._deliver = self.network.deliver_local
+
+    def wrap_link(
+        self,
+        neighbor: int,
+        wrap: Callable[[Callable[[Packet], None]], Callable[[Packet], None]],
+    ) -> None:
+        """Interpose on the outgoing link toward ``neighbor``.
+
+        ``wrap`` receives the current grant handler and returns the
+        replacement; the fault injector uses this to model lossy/slow
+        links without touching the uncontended datapath.
+        """
+        if neighbor not in self._grant_handlers:
+            raise ValueError(
+                f"router {self.node} has no link toward {neighbor}"
+            )
+        self._grant_handlers[neighbor] = wrap(self._grant_handlers[neighbor])
 
     # ------------------------------------------------------------------
     # Hook for subclasses (big router)

@@ -209,6 +209,21 @@ class Observation:
             "threads/done",
             lambda: sum(1 for t in system.threads if t.done),
         )
+
+        faults = getattr(system, "faults", None)
+        if faults is not None:
+            reg.gauges(
+                "faults",
+                dropped=lambda: faults.dropped,
+                duplicated=lambda: faults.duplicated,
+                corrupted=lambda: faults.corrupted,
+                delayed=lambda: faults.delayed,
+            )
+            if emit is not None:
+                faults._trace = emit
+        watchdog = getattr(system, "watchdog", None)
+        if watchdog is not None:
+            reg.gauge("faults/watchdog_ticks", lambda: watchdog.ticks)
         return self
 
     @property

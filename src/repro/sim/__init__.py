@@ -1,12 +1,13 @@
 """Deterministic event-driven simulation kernel."""
 
 from .component import Component
-from .kernel import Event, SimulationError, Simulator
+from .kernel import Event, RunTimeout, SimulationError, Simulator
 from .rng import make_rng, stream_seed
 
 __all__ = [
     "Component",
     "Event",
+    "RunTimeout",
     "SimulationError",
     "Simulator",
     "make_rng",

@@ -23,11 +23,15 @@ from __future__ import annotations
 
 import heapq
 from functools import partial
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
+# Re-homed into the unified hierarchy (repro.errors); imported here so the
+# historical paths ``repro.sim.kernel.SimulationError`` / ``repro.sim
+# .SimulationError`` keep working.
+from ..errors import RunTimeout, SimulationError
 
-class SimulationError(RuntimeError):
-    """Raised for kernel misuse (scheduling in the past, running twice, ...)."""
+__all__ = ["Event", "RunTimeout", "SimulationError", "Simulator"]
 
 
 class Event:
@@ -145,9 +149,21 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
         """Run until the event queue drains, ``until`` cycles pass, or
         ``max_events`` events are processed.  Returns the final cycle.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` timestamp:
+        once the wall clock passes it the kernel raises
+        :class:`~repro.errors.RunTimeout` between cycle batches.  This is
+        the executor's per-run wall-clock budget hook; the check is
+        skipped entirely (one ``None`` test per cycle batch) when no
+        deadline is set.
         """
         if self._running:
             raise SimulationError("simulator is already running")
@@ -160,6 +176,12 @@ class Simulator:
             while queue:
                 if self._stopped:
                     break
+                if deadline is not None and perf_counter() >= deadline:
+                    raise RunTimeout(
+                        f"wall-clock budget exhausted at cycle {self.cycle} "
+                        f"({self.events_processed:,} events processed)",
+                        cycle=self.cycle,
+                    )
                 head = queue[0]
                 if len(head) == 3 and head[2].cancelled:
                     # reap head corpses before they can advance the clock

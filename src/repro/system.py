@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from .config import SystemConfig
+from .errors import DeadlockError
 from .coherence.memsystem import MemorySystem
 from .cpu.os_model import OsModel
 from .cpu.thread import WorkerThread
@@ -34,15 +35,25 @@ from .stats.timeline import Timeline
 from .workloads.generator import Workload
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .faults.plan import FaultPlan
     from .obs import Observation
 
-
-class DeadlockError(RuntimeError):
-    """The ROI did not finish within the cycle budget."""
+# ``DeadlockError`` is re-homed in :mod:`repro.errors`; the historical
+# ``repro.system.DeadlockError`` path stays importable via the import above.
+__all__ = ["DeadlockError", "ManyCoreSystem", "run_benchmark"]
 
 
 class ManyCoreSystem:
-    """One configured instance of the simulated platform."""
+    """One configured instance of the simulated platform.
+
+    ``fault_plan`` installs a deterministic :mod:`repro.faults` injector
+    into the NoC; ``watchdog_cycles`` arms the liveness watchdog
+    (no-progress-in-N-cycles ⇒ :class:`~repro.errors.LivelockDetected`);
+    ``check_protocol`` attaches the online
+    :class:`~repro.coherence.checker.ProtocolChecker`.  All three default
+    off and, when off, leave the assembled system byte-identical to one
+    built without them.
+    """
 
     def __init__(
         self,
@@ -50,6 +61,9 @@ class ManyCoreSystem:
         workload: Workload,
         primitive: str = "qsl",
         observe: Optional["Observation"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        watchdog_cycles: Optional[int] = None,
+        check_protocol: bool = False,
     ):
         if workload.num_threads > config.noc.width * config.noc.height:
             raise ValueError(
@@ -127,6 +141,22 @@ class ManyCoreSystem:
             for t in range(workload.num_threads)
         ]
         self._finished_cycle: Optional[int] = None
+        self.faults = None
+        if fault_plan is not None and fault_plan.enabled:
+            from .faults.injector import FaultInjector
+
+            self.faults = FaultInjector(fault_plan)
+            self.faults.install(self.network)
+        self.watchdog = None
+        if watchdog_cycles:
+            from .faults.watchdog import LivenessWatchdog
+
+            self.watchdog = LivenessWatchdog(self.sim, self, watchdog_cycles)
+        self.checker = None
+        if check_protocol:
+            from .coherence.checker import ProtocolChecker
+
+            self.checker = ProtocolChecker(self.sim, self.memsys)
         self.observe = observe
         if observe is not None:
             # wire-up time: gauges registered and trace emitters rebound
@@ -140,11 +170,27 @@ class ManyCoreSystem:
             self._finished_cycle = self.sim.cycle
             self.sim.stop()
 
-    def run(self, max_cycles: int = 50_000_000) -> RunResult:
-        """Execute the ROI; returns measured :class:`RunResult`."""
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        timeout_s: Optional[float] = None,
+    ) -> RunResult:
+        """Execute the ROI; returns measured :class:`RunResult`.
+
+        ``timeout_s`` bounds the *wall clock*: past it the kernel raises
+        :class:`~repro.errors.RunTimeout` mid-run (the executor's per-run
+        budget; such partial runs are never cached).
+        """
         for thread in self.threads:
             thread.start()
-        self.sim.run(until=max_cycles)
+        if self.watchdog is not None:
+            self.watchdog.arm()
+        deadline = None
+        if timeout_s is not None:
+            from time import perf_counter
+
+            deadline = perf_counter() + timeout_s
+        self.sim.run(until=max_cycles, deadline=deadline)
         if self._finished_cycle is None:
             stuck = [t.thread_id for t in self.threads if not t.done]
             raise DeadlockError(
@@ -169,6 +215,14 @@ class ManyCoreSystem:
             os_sleeps=self.os_model.sleeps,
             os_wakeups=self.os_model.wakeups,
         )
+        if self.faults is not None:
+            for name, value in self.faults.counters().items():
+                result.extra[f"faults/{name}"] = float(value)
+        if self.checker is not None:
+            result.extra["checker/samples"] = float(self.checker.report.samples)
+            result.extra["checker/violations"] = float(
+                len(self.checker.report.violations)
+            )
         observe = self.observe
         if observe is not None and observe.attached:
             observe.result = result
@@ -248,11 +302,17 @@ def run_benchmark(
     lock_homes=(),
     max_cycles: int = 50_000_000,
     observe: Optional["Observation"] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    watchdog_cycles: Optional[int] = None,
+    check_protocol: bool = False,
+    timeout_s: Optional[float] = None,
 ) -> RunResult:
     """One-call convenience wrapper: configure, generate, run, measure.
 
     ``mechanism=None`` uses ``config`` exactly as passed (for callers
-    that already baked iNPG/OCOR flags into it).
+    that already baked iNPG/OCOR flags into it).  The robustness knobs
+    (``fault_plan``, ``watchdog_cycles``, ``check_protocol``,
+    ``timeout_s``) mirror :class:`ManyCoreSystem` / :meth:`ManyCoreSystem.run`.
     """
     from .workloads.generator import generate_workload
 
@@ -266,5 +326,13 @@ def run_benchmark(
         scale=scale,
         lock_homes=lock_homes,
     )
-    system = ManyCoreSystem(cfg, workload, primitive=primitive, observe=observe)
-    return system.run(max_cycles=max_cycles)
+    system = ManyCoreSystem(
+        cfg,
+        workload,
+        primitive=primitive,
+        observe=observe,
+        fault_plan=fault_plan,
+        watchdog_cycles=watchdog_cycles,
+        check_protocol=check_protocol,
+    )
+    return system.run(max_cycles=max_cycles, timeout_s=timeout_s)

@@ -42,8 +42,12 @@ GOLDEN_RUNS = {
 GOLDEN_FLIT = ("49e0dffdc473d86980de9a26886aa321", 63963, 1200)
 
 
-def fingerprint_run(bench, mechanism, observe=None):
-    """Run a small fig12-shaped simulation, hashing every delivery."""
+def fingerprint_run(bench, mechanism, observe=None, **run_kwargs):
+    """Run a small fig12-shaped simulation, hashing every delivery.
+
+    ``run_kwargs`` pass through to :func:`run_benchmark` (the fault
+    tests use this to fingerprint runs under fault plans / watchdogs).
+    """
     digest = hashlib.md5()
     original_deliver = Network.deliver_local
 
@@ -58,7 +62,7 @@ def fingerprint_run(bench, mechanism, observe=None):
     try:
         result = run_benchmark(
             bench, mechanism=mechanism, scale=0.25, seed=2018,
-            observe=observe,
+            observe=observe, **run_kwargs,
         )
     finally:
         Network.deliver_local = original_deliver
