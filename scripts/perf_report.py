@@ -5,8 +5,12 @@ Thin launcher for :mod:`repro.perf.report` so the tracked perf numbers
 can be refreshed without installing the package::
 
     python scripts/perf_report.py            # all workloads, update report
-    python scripts/perf_report.py --quick    # kernel/packet/flit only
+    python scripts/perf_report.py --quick    # fast subset (kernel/packet/
+                                             # flit + coherence stress)
     python scripts/perf_report.py --check --quick   # CI regression gate
+    python scripts/perf_report.py --quick --profile # cProfile per-layer
+                                             # attribution table + hotspot
+                                             # report (BENCH_profile.json)
 """
 
 import sys

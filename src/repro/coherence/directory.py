@@ -21,49 +21,94 @@ Implements the home-node side of the paper's Figure 4 protocol walk-through:
 
 With OCOR enabled, the queued GetX requests are ordered by the priority
 their packets carry (remaining-times-of-retry mapping) instead of FIFO.
+
+Fast-path representation (DESIGN.md §11): messages dispatch through a
+per-type bound-method table indexed by ``msg.tag``; sharer sets and
+pending-InvAck sets are integer bitmasks (bit ``c`` == core ``c``), so the
+64-core invalidation fan-out walks set bits instead of rebuilding Python
+sets; :class:`DirEntry` / :class:`Transaction` are slotted; and the Inv /
+AckCount bursts draw messages from the memory system's free-list pool.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..sim import Component, Simulator
-from .messages import CoherenceMessage, MessageType, next_txn_id
+from .messages import (
+    CoherenceMessage,
+    MessageType,
+    N_MESSAGE_TYPES,
+    mask_to_set,
+    next_txn_id,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .memsystem import MemorySystem
 
+__all__ = ["DirEntry", "DirectoryController", "Transaction", "next_txn_id"]
 
-@dataclass
+
 class Transaction:
     """An in-flight exclusive-ownership transfer."""
 
-    txn_id: int
-    addr: int
-    winner: int
-    start: int
-    expected: Set[int]
-    is_atomic: bool
-    forwarded_losers: List[int] = field(default_factory=list)
+    __slots__ = ("txn_id", "addr", "winner", "start", "expected_mask",
+                 "is_atomic", "forwarded_losers")
+
+    def __init__(self, txn_id: int, addr: int, winner: int, start: int,
+                 expected_mask: int, is_atomic: bool):
+        self.txn_id = txn_id
+        self.addr = addr
+        self.winner = winner
+        self.start = start
+        #: bitmask of cores whose InvAcks the winner must collect
+        self.expected_mask = expected_mask
+        self.is_atomic = is_atomic
+        self.forwarded_losers: List[int] = []
+
+    @property
+    def expected(self) -> set:
+        """Set view of :attr:`expected_mask` (tests/diagnostics)."""
+        return mask_to_set(self.expected_mask)
 
 
-@dataclass
 class DirEntry:
-    """Directory state for one block."""
+    """Directory state for one block.
 
-    owner: Optional[int] = None
-    sharers: Set[int] = field(default_factory=set)
-    busy: bool = False
-    txn: Optional[Transaction] = None
-    #: queued requests: (sort key, message)
-    queue: List[Tuple[Tuple[int, int, int], CoherenceMessage]] = field(
-        default_factory=list
-    )
-    #: cycle each core was last added to the sharer list; early-ack prunes
-    #: older than this are stale (they refer to a previous copy).
-    last_add: Dict[int, int] = field(default_factory=dict)
+    ``sharer_mask`` is the authoritative sharer representation (bit ``c``
+    set == core ``c`` holds a Shared copy); the :attr:`sharers` property
+    is the set-typed compatibility view used by tests, the protocol
+    checker and diagnostics.
+    """
+
+    __slots__ = ("owner", "sharer_mask", "busy", "txn", "queue", "last_add")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None
+        self.sharer_mask = 0
+        self.busy = False
+        self.txn: Optional[Transaction] = None
+        #: queued requests: (sort key, message)
+        self.queue: List[Tuple[Tuple[int, int, int], CoherenceMessage]] = []
+        #: cycle each core was last added to the sharer list; early-ack
+        #: prunes older than this are stale (previous copy).
+        self.last_add: Dict[int, int] = {}
+
+    @property
+    def sharers(self) -> set:
+        """Set view of :attr:`sharer_mask`."""
+        return mask_to_set(self.sharer_mask)
+
+
+#: msg.tag -> DirectoryController method name (None == protocol error)
+_HANDLER_NAMES: List[Optional[str]] = [None] * N_MESSAGE_TYPES
+_HANDLER_NAMES[MessageType.GETS.tag] = "_h_gets"
+_HANDLER_NAMES[MessageType.GETX.tag] = "_h_getx"
+_HANDLER_NAMES[MessageType.UNBLOCK.tag] = "_h_unblock"
+_HANDLER_NAMES[MessageType.INV_ACK.tag] = "_h_inv_ack"
+_HANDLER_NAMES[MessageType.DATA.tag] = "_h_data"
+_HANDLER_NAMES[MessageType.PUT_S.tag] = "_h_put"
+_HANDLER_NAMES[MessageType.PUT_M.tag] = "_h_put"
 
 
 class DirectoryController(Component):
@@ -83,29 +128,35 @@ class DirectoryController(Component):
         #: blocks resident in this L2 bank; a first touch fetches from DRAM
         self._resident: set = set()
         self._fetching: Dict[int, list] = {}
+        self._l2_latency = memsys.config.cache.l2_latency
+        self._schedule = sim.schedule
+        #: msg.tag -> bound handler (the dispatch table of _HANDLER_NAMES)
+        self._dispatch = tuple(
+            getattr(self, name) if name is not None else None
+            for name in _HANDLER_NAMES
+        )
 
-    def _with_block(self, addr: int, action) -> None:
-        """Run ``action`` once ``addr`` is resident in the L2 bank.
+    def _with_block(self, addr: int, action, msg) -> None:
+        """Run ``action(msg)`` once ``addr`` is resident in the L2 bank.
 
         The first touch of a block pays a DRAM access at the nearest
         memory controller (Table 1's eight edge controllers); concurrent
         cold requests coalesce onto one fetch.
         """
         if addr in self._resident or self.memsys.dram is None:
-            action()
+            action(msg)
             return
         waiting = self._fetching.get(addr)
         if waiting is not None:
-            waiting.append(action)
+            waiting.append((action, msg))
             return
-        self._fetching[addr] = [action]
+        self._fetching[addr] = [(action, msg)]
+        self.memsys.dram.access_from(self.node, self._filled, addr)
 
-        def filled() -> None:
-            self._resident.add(addr)
-            for act in self._fetching.pop(addr):
-                act()
-
-        self.memsys.dram.access_from(self.node, filled)
+    def _filled(self, addr: int) -> None:
+        self._resident.add(addr)
+        for action, msg in self._fetching.pop(addr):
+            action(msg)
 
     def entry(self, addr: int) -> DirEntry:
         ent = self.entries.get(addr)
@@ -118,29 +169,41 @@ class DirectoryController(Component):
     # Message entry point (after L2 access latency)
     # ------------------------------------------------------------------
     def handle(self, msg: CoherenceMessage) -> None:
-        latency = self.memsys.config.cache.l2_latency
-        if msg.mtype is MessageType.GETS:
-            self.after(
-                latency,
-                lambda: self._with_block(msg.addr, lambda: self._on_gets(msg)),
-            )
-        elif msg.mtype is MessageType.GETX:
-            self.after(
-                latency,
-                lambda: self._with_block(msg.addr, lambda: self._on_getx(msg)),
-            )
-        elif msg.mtype is MessageType.UNBLOCK:
-            self.after(latency, lambda: self._on_unblock(msg))
-        elif msg.mtype is MessageType.INV_ACK:
-            # A big-router-forwarded early ack; directory metadata update
-            # is cheap, relay without a full L2 access.
-            self._on_early_ack(msg)
-        elif msg.mtype is MessageType.DATA and msg.fail_response:
-            self._relay_fail_answer(msg)
-        elif msg.mtype in (MessageType.PUT_S, MessageType.PUT_M):
-            self.after(latency, lambda: self._on_put(msg))
-        else:
+        handler = self._dispatch[msg.tag]
+        if handler is None:
             raise RuntimeError(f"directory {self.node} cannot handle {msg}")
+        handler(msg)
+
+    # -- per-type entries (dispatch table targets) ----------------------
+    def _h_gets(self, msg: CoherenceMessage) -> None:
+        self._schedule(self._l2_latency, self._with_block, msg.addr,
+                       self._on_gets, msg)
+
+    def _h_getx(self, msg: CoherenceMessage) -> None:
+        self._schedule(self._l2_latency, self._with_block, msg.addr,
+                       self._on_getx, msg)
+
+    def _h_unblock(self, msg: CoherenceMessage) -> None:
+        # late-bound (self._on_unblock): the protocol checker wraps the
+        # attribute after construction
+        self._schedule(self._l2_latency, self._dispatch_unblock, msg)
+
+    def _dispatch_unblock(self, msg: CoherenceMessage) -> None:
+        self._on_unblock(msg)
+
+    def _h_inv_ack(self, msg: CoherenceMessage) -> None:
+        # A big-router-forwarded early ack; directory metadata update is
+        # cheap, relay without a full L2 access.
+        self._on_early_ack(msg)
+
+    def _h_data(self, msg: CoherenceMessage) -> None:
+        if msg.fail_response:
+            self._relay_fail_answer(msg)
+            return
+        raise RuntimeError(f"directory {self.node} cannot handle {msg}")
+
+    def _h_put(self, msg: CoherenceMessage) -> None:
+        self._schedule(self._l2_latency, self._on_put, msg)
 
     def _on_put(self, msg: CoherenceMessage) -> None:
         """An eviction writeback: untrack the core's copy.
@@ -153,10 +216,10 @@ class DirectoryController(Component):
         core = msg.requester
         if msg.mtype is MessageType.PUT_M and ent.owner == core:
             ent.owner = None
-        if core in ent.sharers and (
+        if (ent.sharer_mask >> core) & 1 and (
             msg.ack_processed_cycle > ent.last_add.get(core, -1)
         ):
-            ent.sharers.discard(core)
+            ent.sharer_mask &= ~(1 << core)
 
     def _relay_fail_answer(self, msg: CoherenceMessage) -> None:
         """Register the losing requester as a sharer, then relay the
@@ -176,7 +239,7 @@ class DirectoryController(Component):
         ent = self.entry(msg.addr)
         copyless = ent.busy
         if not copyless:
-            ent.sharers.add(msg.requester)
+            ent.sharer_mask |= 1 << msg.requester
             ent.last_add[msg.requester] = self.now
         relayed = CoherenceMessage(
             mtype=MessageType.DATA,
@@ -224,7 +287,7 @@ class DirectoryController(Component):
                 sender=self.node,
             )
             self.memsys.send(self.node, requester, data, data_packet=True)
-        ent.sharers.add(requester)
+        ent.sharer_mask |= 1 << requester
         ent.last_add[requester] = self.now
 
     # ------------------------------------------------------------------
@@ -250,7 +313,7 @@ class DirectoryController(Component):
             # core owns the block, the copy comes from it (demoting it to
             # Owned); otherwise the home supplies it.
             self.nacked_probes += 1
-            ent.sharers.add(msg.requester)
+            ent.sharer_mask |= 1 << msg.requester
             ent.last_add[msg.requester] = self.now
             if ent.owner is not None and ent.owner != msg.requester:
                 fwd = CoherenceMessage(
@@ -297,24 +360,32 @@ class DirectoryController(Component):
 
     def _start_txn(self, ent: DirEntry, msg: CoherenceMessage) -> None:
         self.transactions_started += 1
+        memsys = self.memsys
+        pool = memsys.msg_pool
         winner = msg.requester
-        txn_id = next_txn_id()
+        txn_id = memsys.next_txn_id()
+        now = self.now
         old_owner = ent.owner
-        to_invalidate = {c for c in ent.sharers if c != winner}
-        expected: Set[int] = set()
+        # every sharer except the winner gets an Inv, lowest core first
+        # (the bit walk reproduces the old sorted-set iteration order)
+        to_invalidate = ent.sharer_mask & ~(1 << winner)
+        expected_mask = to_invalidate
         invs_sent = 0
-        for core in sorted(to_invalidate):
-            inv = CoherenceMessage(
-                mtype=MessageType.INV,
-                addr=msg.addr,
-                requester=winner,
+        remaining = to_invalidate
+        while remaining:
+            low = remaining & -remaining
+            core = low.bit_length() - 1
+            remaining ^= low
+            inv = pool.acquire(
+                MessageType.INV,
+                msg.addr,
+                winner,
                 sender=self.node,
                 inv_target=core,
-                inv_created_cycle=self.now,
+                inv_created_cycle=now,
                 txn_id=txn_id,
             )
-            self.memsys.send(self.node, core, inv)
-            expected.add(core)
+            memsys.send(self.node, core, inv)
             invs_sent += 1
         if old_owner is not None and old_owner != winner:
             fwd = CoherenceMessage(
@@ -323,8 +394,8 @@ class DirectoryController(Component):
                 requester=winner,
                 sender=self.node,
             )
-            self.memsys.send(self.node, old_owner, fwd)
-            expected.add(old_owner)
+            memsys.send(self.node, old_owner, fwd)
+            expected_mask |= 1 << old_owner
         else:
             data = CoherenceMessage(
                 mtype=MessageType.DATA_EXCL,
@@ -333,31 +404,31 @@ class DirectoryController(Component):
                 sender=self.node,
                 exclusive=True,
             )
-            self.memsys.send(self.node, winner, data, data_packet=True)
-        ack_count = CoherenceMessage(
-            mtype=MessageType.ACK_COUNT,
-            addr=msg.addr,
-            requester=winner,
+            memsys.send(self.node, winner, data, data_packet=True)
+        ack_count = pool.acquire(
+            MessageType.ACK_COUNT,
+            msg.addr,
+            winner,
             sender=self.node,
-            ack_from=frozenset(expected),
+            ack_from=expected_mask,
             txn_id=txn_id,
-            inv_created_cycle=self.now,  # doubles as the txn start stamp
+            inv_created_cycle=now,  # doubles as the txn start stamp
         )
-        self.memsys.send(self.node, winner, ack_count)
+        memsys.send(self.node, winner, ack_count)
         ent.busy = True
         ent.txn = Transaction(
             txn_id=txn_id,
             addr=msg.addr,
             winner=winner,
-            start=self.now,
-            expected=expected,
+            start=now,
+            expected_mask=expected_mask,
             is_atomic=msg.is_atomic,
         )
         ent.owner = winner
-        ent.sharers = set()
+        ent.sharer_mask = 0
         if msg.is_atomic:
-            self.memsys.stats.txn_started(
-                txn_id, msg.addr, winner, self.now, invs_sent
+            memsys.stats.txn_started(
+                txn_id, msg.addr, winner, now, invs_sent
             )
 
     # ------------------------------------------------------------------
@@ -421,22 +492,23 @@ class DirectoryController(Component):
             # The target kept a legitimately owned line; the ack only
             # served to release the big router's EI entry.
             return
-        if core in ent.sharers:
+        if (ent.sharer_mask >> core) & 1:
             # Prune only if the invalidation postdates the core's latest
             # sharer add — an older ack refers to a previous, already-dead
             # copy and must not untrack the current one.
             if msg.ack_processed_cycle > ent.last_add.get(core, -1):
-                ent.sharers.discard(core)
+                ent.sharer_mask &= ~(1 << core)
                 self.memsys.stats.early_acks_consumed_before_txn += 1
-        if ent.txn is not None and core in ent.txn.expected:
-            relay = CoherenceMessage(
-                mtype=MessageType.INV_ACK,
-                addr=msg.addr,
-                requester=ent.txn.winner,
+        txn = ent.txn
+        if txn is not None and (txn.expected_mask >> core) & 1:
+            relay = self.memsys.msg_pool.acquire(
+                MessageType.INV_ACK,
+                msg.addr,
+                txn.winner,
                 sender=self.node,
                 inv_target=core,
                 inv_created_cycle=msg.inv_created_cycle,
                 early=True,
-                txn_id=ent.txn.txn_id,
+                txn_id=txn.txn_id,
             )
-            self.memsys.send(self.node, ent.txn.winner, relay)
+            self.memsys.send(self.node, txn.winner, relay)

@@ -16,15 +16,27 @@ Value semantics: committed memory values live in the shared
 ``MemorySystem.values`` map.  Because a write only commits after every
 other copy has been invalidated and acknowledged (the protocol's whole
 point), reading that map at load/RMW completion time is coherent.
+
+Fast-path representation (DESIGN.md §11): message handling dispatches
+through a per-type bound-method table indexed by ``msg.tag`` (the old
+per-call dict build was a top-5 hotspot); the pending-write ack ledger is
+a pair of integer bitmasks (``expected_mask`` / ``acked_mask``), so the
+commit test is one mask subtraction; the pending records are slotted; and
+the event-loop callbacks are bound methods with arguments instead of
+per-operation closures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..sim import Component, Simulator
-from .messages import CoherenceMessage, MessageType
+from .messages import (
+    CoherenceMessage,
+    MessageType,
+    N_MESSAGE_TYPES,
+    mask_to_set,
+)
 from .states import L1State
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,41 +47,80 @@ RmwOp = Callable[[int], Tuple[int, int]]
 LoadCallback = Callable[[int], None]
 
 
-@dataclass
 class _PendingLoad:
-    callbacks: List[LoadCallback] = field(default_factory=list)
-    #: an Inv arrived while the GetS was outstanding; drop the stale fill.
-    drop_on_fill: bool = False
+    __slots__ = ("callbacks", "drop_on_fill")
+
+    def __init__(self, callbacks: List[LoadCallback]):
+        self.callbacks = callbacks
+        #: an Inv arrived while the GetS was outstanding; drop the stale
+        #: fill.
+        self.drop_on_fill = False
 
 
-@dataclass
 class _PendingWrite:
-    op: RmwOp
-    callback: LoadCallback
-    is_atomic: bool
-    #: when set, a losing request observing a value for which this returns
-    #: True completes as a failed RMW (no write) with that value.
-    fails_if: Optional[Callable[[int], bool]] = None
-    #: LL/SC-style RMW (Alpha fetch&inc / swap loops): a losing request
-    #: retries its GetX until it wins and commits; it never fails.
-    ll_sc: bool = False
-    priority: int = 0
-    have_data: bool = False
-    expected: Optional[Set[int]] = None
-    acked: Set[int] = field(default_factory=set)
-    txn_id: int = 0
-    txn_start: int = -1
-    early_acks_used: int = 0
-    #: losing fail-fast requesters forwarded to us while we were winning;
-    #: answered right after our commit (paper Step 4).
-    fail_requests: List[int] = field(default_factory=list)
-    #: cycle our current GetX (initial or retry) was sent.
-    sent_cycle: int = -1
-    #: cycle of the last invalidation processed locally while this write
-    #: was outstanding.  A fail-answer may only install its copy when no
-    #: invalidation has been processed since the GetX that produced it
-    #: was sent — otherwise the directory may already have pruned us.
-    local_inv_cycle: int = -1
+    __slots__ = ("op", "callback", "is_atomic", "fails_if", "ll_sc",
+                 "priority", "have_data", "expected_mask", "acked_mask",
+                 "txn_id", "txn_start", "early_acks_used", "fail_requests",
+                 "sent_cycle", "local_inv_cycle")
+
+    def __init__(self, op: RmwOp, callback: LoadCallback, is_atomic: bool,
+                 fails_if: Optional[Callable[[int], bool]], ll_sc: bool,
+                 priority: int):
+        self.op = op
+        self.callback = callback
+        self.is_atomic = is_atomic
+        #: when set, a losing request observing a value for which this
+        #: returns True completes as a failed RMW (no write) with that
+        #: value.
+        self.fails_if = fails_if
+        #: LL/SC-style RMW (Alpha fetch&inc / swap loops): a losing request
+        #: retries its GetX until it wins and commits; it never fails.
+        self.ll_sc = ll_sc
+        self.priority = priority
+        self.have_data = False
+        #: bitmask of cores whose InvAcks must be collected; ``None``
+        #: until the home's AckCount arrives.
+        self.expected_mask: Optional[int] = None
+        #: bitmask of cores whose InvAcks have arrived.
+        self.acked_mask = 0
+        self.txn_id = 0
+        self.txn_start = -1
+        self.early_acks_used = 0
+        #: losing fail-fast requesters forwarded to us while we were
+        #: winning; answered right after our commit (paper Step 4).
+        self.fail_requests: List[int] = []
+        #: cycle our current GetX (initial or retry) was sent.
+        self.sent_cycle = -1
+        #: cycle of the last invalidation processed locally while this
+        #: write was outstanding.  A fail-answer may only install its copy
+        #: when no invalidation has been processed since the GetX that
+        #: produced it was sent — otherwise the directory may already have
+        #: pruned us.
+        self.local_inv_cycle = -1
+
+    @property
+    def expected(self) -> Optional[set]:
+        """Set view of :attr:`expected_mask` (tests/diagnostics)."""
+        if self.expected_mask is None:
+            return None
+        return mask_to_set(self.expected_mask)
+
+    @property
+    def acked(self) -> set:
+        """Set view of :attr:`acked_mask`."""
+        return mask_to_set(self.acked_mask)
+
+
+#: msg.tag -> L1Cache method name (None == protocol error)
+_HANDLER_NAMES: List[Optional[str]] = [None] * N_MESSAGE_TYPES
+_HANDLER_NAMES[MessageType.DATA.tag] = "_on_data"
+_HANDLER_NAMES[MessageType.DATA_EXCL.tag] = "_on_data_excl"
+_HANDLER_NAMES[MessageType.ACK_COUNT.tag] = "_on_ack_count"
+_HANDLER_NAMES[MessageType.INV.tag] = "_on_inv"
+_HANDLER_NAMES[MessageType.INV_ACK.tag] = "_on_inv_ack"
+_HANDLER_NAMES[MessageType.FWD_GETS.tag] = "_on_fwd_gets"
+_HANDLER_NAMES[MessageType.FWD_GETX.tag] = "_on_fwd_getx"
+_HANDLER_NAMES[MessageType.FWD_FAIL.tag] = "_on_fwd_fail"
 
 
 class L1Cache(Component):
@@ -96,6 +147,12 @@ class L1Cache(Component):
         self.load_hits = 0
         self.rmws = 0
         self.rmw_hits = 0
+        self._l1_latency = memsys.config.cache.l1_latency
+        #: msg.tag -> bound handler (the dispatch table of _HANDLER_NAMES)
+        self._dispatch = tuple(
+            getattr(self, name) if name is not None else None
+            for name in _HANDLER_NAMES
+        )
 
     # ------------------------------------------------------------------
     # Core-facing operations
@@ -106,22 +163,25 @@ class L1Cache(Component):
     def load(self, addr: int, callback: LoadCallback, priority: int = 0) -> None:
         """Read ``addr``; ``callback(value)`` fires when the load completes."""
         self.loads += 1
-        latency = self.memsys.config.cache.l1_latency
+        latency = self._l1_latency
         if self.state_of(addr).can_read:
             self.load_hits += 1
             self._touch(addr)
-            self.after(latency, lambda: callback(self.memsys.read(addr)))
+            self.after(latency, self._load_hit_done, addr, callback)
             return
         pending = self._pending_loads.get(addr)
         if pending is not None:
             pending.callbacks.append(callback)
             return
         self._pending_loads[addr] = _PendingLoad(callbacks=[callback])
-        self.after(
-            latency,
-            lambda: self.memsys.send_to_home(
-                self.node, MessageType.GETS, addr, priority=priority
-            ),
+        self.after(latency, self._send_gets, addr, priority)
+
+    def _load_hit_done(self, addr: int, callback: LoadCallback) -> None:
+        callback(self.memsys.read(addr))
+
+    def _send_gets(self, addr: int, priority: int) -> None:
+        self.memsys.send_to_home(
+            self.node, MessageType.GETS, addr, priority=priority
         )
 
     # ------------------------------------------------------------------
@@ -259,53 +319,43 @@ class L1Cache(Component):
             raise RuntimeError(
                 f"core {self.node}: overlapping writes to {addr:#x} unsupported"
             )
-        latency = self.memsys.config.cache.l1_latency
+        latency = self._l1_latency
         if self.state_of(addr).can_write:
             self.rmw_hits += 1
             self.lines[addr] = L1State.MODIFIED
             self._touch(addr)
-
-            def _commit_hit() -> None:
-                returned = self.memsys.apply_rmw(addr, op)
-                callback(returned)
-
-            self.after(latency, _commit_hit)
+            self.after(latency, self._commit_hit, addr, op, callback)
             return
         pending = _PendingWrite(
             op=op, callback=callback, is_atomic=is_atomic,
             fails_if=fails_if, ll_sc=ll_sc, priority=priority,
         )
         self._pending_writes[addr] = pending
+        self.after(latency, self._send_getx, addr, pending)
 
-        def _send() -> None:
-            pending.sent_cycle = self.now
-            self.memsys.send_to_home(
-                self.node,
-                MessageType.GETX,
-                addr,
-                priority=priority,
-                is_atomic=is_atomic,
-                fails_fast=fails_if is not None or ll_sc,
-                fails_if=fails_if,
-                holds_copy=self.state_of(addr).valid,
-            )
+    def _commit_hit(self, addr: int, op: RmwOp,
+                    callback: LoadCallback) -> None:
+        returned = self.memsys.apply_rmw(addr, op)
+        callback(returned)
 
-        self.after(latency, _send)
+    def _send_getx(self, addr: int, pending: _PendingWrite) -> None:
+        pending.sent_cycle = self.now
+        self.memsys.send_to_home(
+            self.node,
+            MessageType.GETX,
+            addr,
+            priority=pending.priority,
+            is_atomic=pending.is_atomic,
+            fails_fast=pending.fails_if is not None or pending.ll_sc,
+            fails_if=pending.fails_if,
+            holds_copy=self.state_of(addr).valid,
+        )
 
     # ------------------------------------------------------------------
     # Network-facing message handling
     # ------------------------------------------------------------------
     def handle(self, msg: CoherenceMessage) -> None:
-        handler = {
-            MessageType.DATA: self._on_data,
-            MessageType.DATA_EXCL: self._on_data_excl,
-            MessageType.ACK_COUNT: self._on_ack_count,
-            MessageType.INV: self._on_inv,
-            MessageType.INV_ACK: self._on_inv_ack,
-            MessageType.FWD_GETS: self._on_fwd_gets,
-            MessageType.FWD_GETX: self._on_fwd_getx,
-            MessageType.FWD_FAIL: self._on_fwd_fail,
-        }.get(msg.mtype)
+        handler = self._dispatch[msg.tag]
         if handler is None:
             raise RuntimeError(f"L1 {self.node} cannot handle {msg}")
         handler(msg)
@@ -350,22 +400,7 @@ class L1Cache(Component):
             # freed while the answer travelled).  Retries back off by one
             # spin interval to avoid live-storming the home node.
             retry_gap = self.memsys.config.spin.spin_interval
-
-            def _retry() -> None:
-                if msg.addr in self._pending_writes:
-                    pending.sent_cycle = self.now
-                    self.memsys.send_to_home(
-                        self.node,
-                        MessageType.GETX,
-                        msg.addr,
-                        priority=pending.priority,
-                        is_atomic=pending.is_atomic,
-                        fails_fast=True,
-                        fails_if=pending.fails_if,
-                        holds_copy=self.state_of(msg.addr).valid,
-                    )
-
-            self.after(retry_gap, _retry)
+            self.after(retry_gap, self._retry_getx, msg.addr, pending)
             return
         del self._pending_writes[msg.addr]
         # forwarded losers that piled onto this pending (e.g. sent while a
@@ -375,6 +410,20 @@ class L1Cache(Component):
             self._answer_fail_request(msg.addr, loser)
         pending.callback(msg.value)
 
+    def _retry_getx(self, addr: int, pending: _PendingWrite) -> None:
+        if addr in self._pending_writes:
+            pending.sent_cycle = self.now
+            self.memsys.send_to_home(
+                self.node,
+                MessageType.GETX,
+                addr,
+                priority=pending.priority,
+                is_atomic=pending.is_atomic,
+                fails_fast=True,
+                fails_if=pending.fails_if,
+                holds_copy=self.state_of(addr).valid,
+            )
+
     # -- exclusive data / ack collection ---------------------------------
     def _on_data_excl(self, msg: CoherenceMessage) -> None:
         pending = self._pending_writes.get(msg.addr)
@@ -382,22 +431,23 @@ class L1Cache(Component):
             return
         pending.have_data = True
         if msg.counts_as_ack_from is not None:
-            pending.acked.add(msg.counts_as_ack_from)
+            pending.acked_mask |= 1 << msg.counts_as_ack_from
         self._maybe_commit(msg.addr)
 
     def _on_ack_count(self, msg: CoherenceMessage) -> None:
         pending = self._pending_writes.get(msg.addr)
         if pending is None:
             return
-        pending.expected = set(msg.ack_from)
+        expected_mask = msg.ack_from
+        pending.expected_mask = expected_mask
         pending.txn_id = msg.txn_id
         pending.txn_start = msg.inv_created_cycle
         stray = self._stray_acks.pop(msg.addr, None)
         if stray:
             for core, (created, early, txn_id) in stray.items():
-                if core not in pending.expected or txn_id != pending.txn_id:
+                if not (expected_mask >> core) & 1 or txn_id != pending.txn_id:
                     continue
-                pending.acked.add(core)
+                pending.acked_mask |= 1 << core
                 if early:
                     # RTT already recorded at the generating big router
                     pending.early_acks_used += 1
@@ -409,7 +459,7 @@ class L1Cache(Component):
 
     def _on_inv_ack(self, msg: CoherenceMessage) -> None:
         pending = self._pending_writes.get(msg.addr)
-        if pending is None or pending.expected is None:
+        if pending is None or pending.expected_mask is None:
             # The winner doesn't know its expected set yet (AckCount in
             # flight) -- buffer the ack by invalidated-core id.
             self._stray_acks.setdefault(msg.addr, {})[msg.inv_target] = (
@@ -420,22 +470,28 @@ class L1Cache(Component):
             return
         if msg.txn_id != pending.txn_id:
             return
-        if msg.inv_target in pending.expected and msg.inv_target not in pending.acked:
-            pending.acked.add(msg.inv_target)
+        target_bit = 1 << msg.inv_target
+        if pending.expected_mask & target_bit and not (
+            pending.acked_mask & target_bit
+        ):
+            pending.acked_mask |= target_bit
             if msg.early:
                 # RTT already recorded at the generating big router
                 pending.early_acks_used += 1
             else:
                 self.memsys.stats.inv_completed(
-                    msg.inv_target, msg.inv_created_cycle, self.now, early=False
+                    msg.inv_target, msg.inv_created_cycle, self.now,
+                    early=False,
                 )
         self._maybe_commit(msg.addr)
 
     def _maybe_commit(self, addr: int) -> None:
         pending = self._pending_writes.get(addr)
-        if pending is None or not pending.have_data or pending.expected is None:
+        if pending is None or not pending.have_data or (
+            pending.expected_mask is None
+        ):
             return
-        if not pending.expected <= pending.acked:
+        if pending.expected_mask & ~pending.acked_mask:
             return
         del self._pending_writes[addr]
         self._install(addr, L1State.MODIFIED)
@@ -476,10 +532,10 @@ class L1Cache(Component):
             pending_write = self._pending_writes.get(msg.addr)
             if pending_write is not None:
                 pending_write.local_inv_cycle = self.now
-        ack = CoherenceMessage(
-            mtype=MessageType.INV_ACK,
-            addr=msg.addr,
-            requester=msg.requester,
+        ack = self.memsys.msg_pool.acquire(
+            MessageType.INV_ACK,
+            msg.addr,
+            msg.requester,
             sender=self.node,
             inv_target=self.node,
             inv_created_cycle=msg.inv_created_cycle,

@@ -8,11 +8,21 @@ The class also owns the committed value store.  A write (atomic RMW or
 plain store) mutates it only at commit time — after the protocol has
 invalidated and collected acknowledgements from every other copy — so a
 read through a valid L1 line always observes a coherent value.
+
+Fast-path representation (DESIGN.md §11): routing/priority/tracing
+classification in :meth:`MemorySystem.send` and the per-node delivery
+endpoints index tag-keyed boolean tuples with ``msg.tag`` instead of
+hashing Enum members into frozensets; endpoints release pool-managed
+control messages (Inv / InvAck / AckCount) back to :attr:`msg_pool` after
+their handler consumed them — recycling is disabled whenever fault
+injection is active, because the ``duplicate`` fault aliases one payload
+across two packets.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, TYPE_CHECKING
+import itertools
+from typing import Callable, Dict, TYPE_CHECKING
 
 from ..config import SystemConfig
 from ..noc import Network, Packet
@@ -20,32 +30,47 @@ from ..sim import Component, Simulator
 from ..stats.coherence_stats import CoherenceStats
 from .directory import DirectoryController
 from .l1cache import L1Cache, LoadCallback, RmwOp
-from .messages import CoherenceMessage, MessageType
+from .messages import (
+    CoherenceMessage,
+    MessagePool,
+    MessageType,
+    VALUE_BY_TAG,
+    _tag_flags,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
 
 #: message types handled by the directory at the destination node
-_DIR_TYPES = frozenset(
-    {
-        MessageType.GETS,
-        MessageType.GETX,
-        MessageType.UNBLOCK,
-        MessageType.PUT_S,
-        MessageType.PUT_M,
-    }
+#: (tag-indexed; the frozenset membership test was a send/deliver hotspot)
+_IS_DIR = _tag_flags(
+    MessageType.GETS,
+    MessageType.GETX,
+    MessageType.UNBLOCK,
+    MessageType.PUT_S,
+    MessageType.PUT_M,
 )
 
 #: request-class messages carry their own (OCOR) priority; everything else
 #: is response-class and must outrank requests in priority arbitration so
 #: in-flight transactions cannot be starved by request storms.
-_REQUEST_TYPES = frozenset({MessageType.GETS, MessageType.GETX})
+_IS_REQUEST = _tag_flags(MessageType.GETS, MessageType.GETX)
 RESPONSE_PRIORITY = 100
 
 #: the lock-critical message classes worth a trace record (the ones iNPG
 #: acts on); tracing every GetS/Data would swamp the ring buffer.
-_TRACED_TYPES = frozenset(
-    {MessageType.GETX, MessageType.INV, MessageType.INV_ACK}
+_IS_TRACED = _tag_flags(
+    MessageType.GETX, MessageType.INV, MessageType.INV_ACK
+)
+
+#: types that may only reach the directory when flagged ``dest_is_home``
+#: (big-router-forwarded early acks, winner fail answers in transit)
+_IS_HOMEBOUND = _tag_flags(MessageType.INV_ACK, MessageType.DATA)
+
+#: short-lived control messages recycled through the pool: handled
+#: synchronously at their delivery endpoint and never retained.
+_IS_POOLABLE = _tag_flags(
+    MessageType.INV, MessageType.INV_ACK, MessageType.ACK_COUNT
 )
 
 
@@ -67,6 +92,13 @@ class MemorySystem(Component):
         self.network = network
         self.stats = CoherenceStats()
         self.values: Dict[int, int] = {}
+        #: free list for the Inv/InvAck/AckCount bursts; endpoints recycle
+        #: into it unless ``_recycle`` was cleared (fault injection).
+        self.msg_pool = MessagePool()
+        self._recycle = True
+        #: per-run transaction ids: two back-to-back in-process runs see
+        #: identical id streams (a process-global counter would not)
+        self._txn_ids = itertools.count(1)
         #: off-chip path; None disables cold-miss DRAM modelling
         from ..cpu.memory_model import MemorySubsystem
 
@@ -75,6 +107,8 @@ class MemorySystem(Component):
             if model_dram
             else None
         )
+        self._ctrl_flits = config.noc.ctrl_packet_flits
+        self._data_flits = config.noc.data_packet_flits
         num_nodes = network.mesh.num_nodes
         self.l1s: Dict[int, L1Cache] = {
             n: L1Cache(sim, n, self) for n in range(num_nodes)
@@ -84,6 +118,10 @@ class MemorySystem(Component):
         }
         for node in range(num_nodes):
             network.register_endpoint(node, self._make_endpoint(node))
+
+    def next_txn_id(self) -> int:
+        """Fresh directory transaction id, scoped to this run."""
+        return next(self._txn_ids)
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -190,39 +228,43 @@ class MemorySystem(Component):
         data_packet: bool = False,
     ) -> None:
         """Inject ``msg`` into the NoC."""
-        self.stats.count(msg.mtype.value)
-        size = (
-            self.config.noc.data_packet_flits
-            if data_packet
-            else self.config.noc.ctrl_packet_flits
-        )
-        priority = (
-            msg.priority if msg.mtype in _REQUEST_TYPES else RESPONSE_PRIORITY
-        )
+        tag = msg.tag
+        self.stats.count(VALUE_BY_TAG[tag])
+        size = self._data_flits if data_packet else self._ctrl_flits
+        priority = msg.priority if _IS_REQUEST[tag] else RESPONSE_PRIORITY
         tr = self._trace
-        if tr is not None and msg.mtype in _TRACED_TYPES:
+        if tr is not None and _IS_TRACED[tag]:
             tr(f"core/{src}", "coh.send", mtype=msg.mtype.value, dst=dst,
                addr=msg.addr, requester=msg.requester)
         self.network.send(src, dst, msg, size_flits=size, priority=priority)
 
     def _make_endpoint(self, node: int) -> Callable[[Packet], None]:
+        dir_handle = self.dirs[node].handle
+        l1_handle = self.l1s[node].handle
+        is_dir = _IS_DIR
+        is_homebound = _IS_HOMEBOUND
+        is_traced = _IS_TRACED
+        is_poolable = _IS_POOLABLE
+        release = self.msg_pool.release
+
         def endpoint(packet: Packet) -> None:
             msg = packet.payload
-            if not isinstance(msg, CoherenceMessage):
+            if msg.__class__ is not CoherenceMessage and not isinstance(
+                msg, CoherenceMessage
+            ):
                 raise RuntimeError(f"unexpected payload at node {node}: {msg!r}")
+            tag = msg.tag
             tr = self._trace
-            if tr is not None and msg.mtype in _TRACED_TYPES:
+            if tr is not None and is_traced[tag]:
                 tr(f"core/{node}", "coh.recv", mtype=msg.mtype.value,
                    src=packet.src, addr=msg.addr, requester=msg.requester)
-            if msg.mtype in _DIR_TYPES:
-                self.dirs[node].handle(msg)
-            elif msg.dest_is_home and msg.mtype in (
-                MessageType.INV_ACK, MessageType.DATA
-            ):
-                # big-router-forwarded early acks and winner fail answers
-                # in transit to the directory
-                self.dirs[node].handle(msg)
+            if is_dir[tag] or (is_homebound[tag] and msg.dest_is_home):
+                # requests/writebacks, plus big-router-forwarded early
+                # acks and winner fail answers in transit to the directory
+                dir_handle(msg)
             else:
-                self.l1s[node].handle(msg)
+                l1_handle(msg)
+            if is_poolable[tag] and self._recycle:
+                release(msg)
 
         return endpoint

@@ -52,29 +52,30 @@ class MemoryController(Component):
         self.latency = latency
         self.max_outstanding = max_outstanding
         self._in_flight = 0
-        self._queue: List[Callable[[], None]] = []
+        self._queue: List[tuple] = []
         self.requests = 0
         self.total_queue_wait = 0
         self._enqueue_cycle: Dict[int, int] = {}
 
-    def access(self, callback: Callable[[], None]) -> None:
-        """Perform one DRAM access; ``callback`` fires when data is ready."""
+    def access(self, callback: Callable[..., None], *args) -> None:
+        """Perform one DRAM access; ``callback(*args)`` fires when data is
+        ready."""
         self.requests += 1
         if self._in_flight < self.max_outstanding:
-            self._start(callback)
+            self._start(callback, args)
         else:
-            self._queue.append(callback)
+            self._queue.append((callback, args))
 
-    def _start(self, callback: Callable[[], None]) -> None:
+    def _start(self, callback: Callable[..., None], args: tuple) -> None:
         self._in_flight += 1
+        self.after(self.latency, self._done, callback, args)
 
-        def done() -> None:
-            self._in_flight -= 1
-            callback()
-            if self._queue and self._in_flight < self.max_outstanding:
-                self._start(self._queue.pop(0))
-
-        self.after(self.latency, done)
+    def _done(self, callback: Callable[..., None], args: tuple) -> None:
+        self._in_flight -= 1
+        callback(*args)
+        if self._queue and self._in_flight < self.max_outstanding:
+            next_cb, next_args = self._queue.pop(0)
+            self._start(next_cb, next_args)
 
     @property
     def outstanding(self) -> int:
@@ -113,9 +114,10 @@ class MemorySubsystem(Component):
         self._nearest[node] = best
         return best
 
-    def access_from(self, node: int, callback: Callable[[], None]) -> None:
+    def access_from(self, node: int, callback: Callable[..., None],
+                    *args) -> None:
         """DRAM access issued by the L2 bank at ``node``."""
-        self.controllers[self.nearest_controller(node)].access(callback)
+        self.controllers[self.nearest_controller(node)].access(callback, *args)
 
     @property
     def total_requests(self) -> int:

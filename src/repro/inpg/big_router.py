@@ -33,6 +33,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..config import InpgConfig
     from ..noc.network import Network
 
+#: int-encoded message tags; inspect() runs per packet per big router hop
+_INV_ACK_TAG = MessageType.INV_ACK.tag
+_GETX_TAG = MessageType.GETX.tag
+_INV_VALUE = MessageType.INV.value
+
 
 class BigRouter(Router):
     """A router with in-network packet generation capability."""
@@ -74,10 +79,13 @@ class BigRouter(Router):
 
     def inspect(self, packet: Packet) -> str:
         msg = packet.payload
-        if not isinstance(msg, CoherenceMessage):
+        if msg.__class__ is not CoherenceMessage and not isinstance(
+            msg, CoherenceMessage
+        ):
             return CONTINUE
+        tag = msg.tag
         if (
-            msg.mtype is MessageType.INV_ACK
+            tag == _INV_ACK_TAG
             and msg.early
             and msg.via_router == self.node
             and packet.dst == self.node
@@ -85,7 +93,7 @@ class BigRouter(Router):
             self._forward_early_ack(packet, msg)
             return STOPPED
         if (
-            msg.mtype is MessageType.GETX
+            tag == _GETX_TAG
             and msg.is_atomic
             and msg.holds_copy
             and not msg.early_invalidated
@@ -124,17 +132,17 @@ class BigRouter(Router):
         if tr is not None:
             tr(f"big/{self.node}", "inpg.early_inv", addr=msg.addr,
                target=msg.requester, n=self.invs_generated)
-        inv = CoherenceMessage(
-            mtype=MessageType.INV,
-            addr=msg.addr,
-            requester=-1,
+        inv = self._memsys.msg_pool.acquire(
+            MessageType.INV,
+            msg.addr,
+            -1,
             sender=self.node,
             inv_target=msg.requester,
             inv_created_cycle=self.now,
             early=True,
             via_router=self.node,
         )
-        stats.count(inv.mtype.value)
+        stats.count(_INV_VALUE)
         packet = Packet(
             src=self.node,
             dst=msg.requester,

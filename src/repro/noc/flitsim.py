@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import NocConfig
@@ -40,27 +40,39 @@ _PORT_NAMES = ("local", "north", "east", "south", "west")
 _flit_packets = itertools.count()
 
 
-@dataclass
 class FlitPacket:
-    """A packet decomposed into flits."""
+    """A packet decomposed into flits (slotted: one per injected packet)."""
 
-    src: int
-    dst: int
-    length: int
-    payload: object = None
-    pid: int = field(default_factory=lambda: next(_flit_packets))
-    injected_cycle: int = -1
-    delivered_cycle: int = -1
+    __slots__ = ("src", "dst", "length", "payload", "pid",
+                 "injected_cycle", "delivered_cycle")
+
+    def __init__(self, src: int, dst: int, length: int,
+                 payload: object = None):
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.payload = payload
+        self.pid = next(_flit_packets)
+        self.injected_cycle = -1
+        self.delivered_cycle = -1
 
     @property
     def latency(self) -> int:
         return self.delivered_cycle - self.injected_cycle
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlitPacket(pid={self.pid}, {self.src}->{self.dst}, "
+                f"len={self.length})")
 
-@dataclass
+
 class Flit:
-    packet: FlitPacket
-    index: int
+    """One flit of a :class:`FlitPacket` (slotted: length x packets)."""
+
+    __slots__ = ("packet", "index")
+
+    def __init__(self, packet: FlitPacket, index: int):
+        self.packet = packet
+        self.index = index
 
     @property
     def is_head(self) -> bool:

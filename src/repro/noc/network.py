@@ -56,7 +56,10 @@ class Network(Component):
             self.routers[node] = factory(sim, node, self)
         for router in self.routers.values():
             router.wire()
+        #: dst -> handler, indexed flat (None until registered); the dict
+        #: view is kept for introspection but delivery uses the list.
         self._endpoints: Dict[int, EndpointHandler] = {}
+        self._endpoint_list: list = [None] * self.mesh.num_nodes
         #: statistics
         self.packets_injected = 0
         self.packets_delivered = 0
@@ -74,6 +77,7 @@ class Network(Component):
         if node in self._endpoints:
             raise ValueError(f"endpoint for node {node} already registered")
         self._endpoints[node] = handler
+        self._endpoint_list[node] = handler
 
     # ------------------------------------------------------------------
     # Injection / delivery
@@ -143,17 +147,18 @@ class Network(Component):
 
     def deliver_local(self, packet: Packet) -> None:
         """Hand a packet that ejected at its destination to the endpoint."""
-        packet.delivered_cycle = self.now
+        now = self.sim.cycle
+        packet.delivered_cycle = now
         self.packets_delivered += 1
-        self.total_latency += packet.latency
-        hops = packet.hops - 1
+        self.total_latency += now - packet.injected_cycle
+        hops = packet._hops - 1
         if hops > 0:
             self.total_hops += hops
         tr = self._trace
         if tr is not None:
             tr(f"core/{packet.dst}", "net.eject", src=packet.src,
                latency=packet.latency, hops=max(hops, 0))
-        handler = self._endpoints.get(packet.dst)
+        handler = self._endpoint_list[packet.dst]
         if handler is None:
             raise RuntimeError(f"no endpoint registered at node {packet.dst}")
         handler(packet)

@@ -4,43 +4,71 @@ A packet carries one coherence message (``payload``).  Following Table 1,
 a cache-block transfer is one 8-flit packet and a coherence control message
 is a single-flit packet.  Packets carry an OCOR priority (0 = lowest) that
 priority-aware ports honour when arbitrating.
+
+``Packet`` is a hand-rolled ``__slots__`` class (not a dataclass): one is
+allocated per message on the NoC, so the per-instance ``__dict__`` and the
+always-allocated trace list of the dataclass version were measurable on
+the fig12 hot path.  The per-router trace list is now lazy — it only
+exists once a tracing router appends to it.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """One message in flight on the NoC."""
 
-    src: int
-    dst: int
-    payload: Any
-    size_flits: int = 1
-    priority: int = 0
-    #: virtual network class: 0 = control (single-flit coherence
-    #: messages), 1 = data (block transfers).  Ports arbitrate control
-    #: ahead of data, modelling the separate virtual networks of Table 1
-    #: that keep invalidations and acks from queueing behind data bursts.
-    vnet: int = 0
-    #: node id of the original issuer, for generated/forwarded packets.
-    origin: Optional[int] = None
-    pid: int = field(default_factory=lambda: next(_packet_ids))
-    injected_cycle: int = -1
-    delivered_cycle: int = -1
-    #: routers visited so far (hop counting is always on; the full
-    #: per-router trace below is only populated when the network was
-    #: built with ``record_traces=True``).  Routers bump the private
-    #: field; ``hops`` below is the read-only view.
-    _hops: int = field(default=0, init=False, repr=False)
-    #: routers traversed so far (head-flit trace; empty unless tracing).
-    trace: List[int] = field(default_factory=list)
+    __slots__ = (
+        "src", "dst", "payload", "size_flits", "priority", "vnet",
+        "origin", "pid", "injected_cycle", "delivered_cycle", "_hops",
+        "_trace_list",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        size_flits: int = 1,
+        priority: int = 0,
+        #: virtual network class: 0 = control (single-flit coherence
+        #: messages), 1 = data (block transfers).  Ports arbitrate control
+        #: ahead of data, modelling the separate virtual networks of
+        #: Table 1 that keep invalidations and acks from queueing behind
+        #: data bursts.
+        vnet: int = 0,
+        #: node id of the original issuer, for generated/forwarded packets.
+        origin: Optional[int] = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_flits = size_flits
+        self.priority = priority
+        self.vnet = vnet
+        self.origin = origin
+        self.pid = next(_packet_ids)
+        self.injected_cycle = -1
+        self.delivered_cycle = -1
+        #: routers visited so far (hop counting is always on; the full
+        #: per-router trace is only populated when the network was built
+        #: with ``record_traces=True``).  Routers bump the private field;
+        #: ``hops`` below is the read-only view.
+        self._hops = 0
+        #: lazily created by tracing routers; ``trace`` is the public view.
+        self._trace_list: Optional[List[int]] = None
+
+    @property
+    def trace(self) -> List[int]:
+        """Routers traversed so far (head-flit trace; empty unless the
+        network records traces)."""
+        t = self._trace_list
+        return t if t is not None else []
 
     @property
     def hops(self) -> int:

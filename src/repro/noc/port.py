@@ -45,6 +45,7 @@ class OutputPort(Component):
         self.flits_sent = 0
         self.total_wait_cycles = 0
         self._peak_queue_depth = 0
+        self._schedule = sim.schedule
 
     def request(self, packet: Packet, on_granted: Callable[[Packet], None]) -> None:
         """Ask to transmit ``packet``; ``on_granted(packet)`` fires when the
@@ -60,7 +61,16 @@ class OutputPort(Component):
             # push depth to at least 1; keep that stat identical here.
             if self._peak_queue_depth == 0:
                 self._peak_queue_depth = 1
-            self._grant(packet, on_granted)
+            # inlined _grant(): the uncontended case is the datapath
+            self._busy = True
+            occupancy = packet.size_flits
+            if occupancy < 1:
+                occupancy = 1
+            self.packets_sent += 1
+            self.flits_sent += occupancy
+            schedule = self._schedule
+            schedule(1, on_granted, packet)
+            schedule(occupancy, self._grant_next)
             return
         priority = packet.priority if self.priority_aware else 0
         key = (packet.vnet, -priority, self.now, self._seq)
@@ -85,7 +95,7 @@ class OutputPort(Component):
             occupancy = 1
         self.packets_sent += 1
         self.flits_sent += occupancy
-        schedule = self.sim.schedule
+        schedule = self._schedule
         schedule(1, on_granted, packet)
         schedule(occupancy, self._grant_next)
 

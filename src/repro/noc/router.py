@@ -63,7 +63,11 @@ class Router(Component):
         self._inspects = type(self).inspect is not Router.inspect
         #: per-output-port grant handlers, built by wire()
         self._grant_handlers: Dict[int, Callable[[Packet], None]] = {}
+        #: row[dst] -> (output_port.request, grant handler) pair, built by
+        #: wire(); collapses routing to one indexed load per hop.
+        self._dest: list = []
         self._record_trace = network.record_traces
+        self._schedule = sim.schedule
 
     # ------------------------------------------------------------------
     # Wiring (called by the network once all routers exist)
@@ -87,6 +91,26 @@ class Router(Component):
 
             self._grant_handlers[neighbor] = on_granted
         self._deliver = self.network.deliver_local
+        self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        """Precompute ``dst -> (port.request, grant handler)`` so the
+        datapath resolves a destination with one list index instead of a
+        next-hop row read plus two dict lookups.  Re-run whenever the
+        grant handlers change (``wire()`` / :meth:`wrap_link`)."""
+        node = self.node
+        hop_row = self._hop_row
+        dest = []
+        for dst in range(self.network.mesh.num_nodes):
+            if dst == node:
+                dest.append((self.ports[node].request, self._eject))
+            else:
+                next_node = hop_row[dst]
+                dest.append(
+                    (self.ports[next_node].request,
+                     self._grant_handlers[next_node])
+                )
+        self._dest = dest
 
     def wrap_link(
         self,
@@ -104,6 +128,7 @@ class Router(Component):
                 f"router {self.node} has no link toward {neighbor}"
             )
         self._grant_handlers[neighbor] = wrap(self._grant_handlers[neighbor])
+        self._rebuild_dispatch()
 
     # ------------------------------------------------------------------
     # Hook for subclasses (big router)
@@ -125,27 +150,24 @@ class Router(Component):
         self.packets_seen += 1
         packet._hops += 1
         if self._record_trace:
-            packet.trace.append(self.node)
+            t = packet._trace_list
+            if t is None:
+                packet._trace_list = t = []
+            t.append(self.node)
         if self._inspects and self.inspect(packet) == STOPPED:
             return
-        self.sim.schedule(self.pipeline_cycles, self._route, packet)
+        self._schedule(self.pipeline_cycles, self._route, packet)
 
     def _route(self, packet: Packet) -> None:
-        dst = packet.dst
-        if dst == self.node:
-            self.ports[dst].request(packet, self._eject)
-            return
-        next_node = self._hop_row[dst]
-        self.ports[next_node].request(
-            packet, self._grant_handlers[next_node]
-        )
+        request, on_granted = self._dest[packet.dst]
+        request(packet, on_granted)
 
     def _eject(self, packet: Packet) -> None:
         # the endpoint has the packet when the tail flit arrives
         tail = packet.size_flits - 1
-        self.sim.schedule(tail if tail > 0 else 0, self._deliver, packet)
+        self._schedule(tail if tail > 0 else 0, self._deliver, packet)
 
     def forward_now(self, packet: Packet) -> None:
         """Re-enter the datapath at this router (used by big routers to
         send generated or converted packets on their way)."""
-        self.sim.schedule(self.pipeline_cycles, self._route, packet)
+        self._schedule(self.pipeline_cycles, self._route, packet)

@@ -1,20 +1,35 @@
 """Measure the core workloads and maintain ``BENCH_core.json``.
 
-The report file is schema-versioned (``bench-core/v1``)::
+The report file is schema-versioned (``bench-core/v2``)::
 
     {
-      "schema": "bench-core/v1",
+      "schema": "bench-core/v2",
       "workloads": { "<name>": {wall_s, events, cycles, events_per_sec} },
-      "baseline":  { "<name>": {...}, "label": "<provenance>" },
-      "speedup":   { "<name>": <events_per_sec ratio vs baseline> }
+      "baselines": {
+        "<key>": { "label": "<provenance>",
+                   "workloads": { "<name>": {...} } },
+        ...
+      },
+      "speedup":   { "<name>": { "<baseline key>": <ratio>, ... } }
     }
 
-``workloads`` holds the most recent measurement; ``baseline`` is kept
-verbatim across re-measurements (the pre-optimization seed numbers,
-unless ``--rebaseline`` replaces them), so the file always documents
-before/after.  ``--check`` re-runs a subset and fails when events/sec
-drops more than :data:`REGRESSION_TOLERANCE` below the committed
-``workloads`` numbers — the CI perf-smoke gate.
+``workloads`` holds the most recent measurement; every entry under
+``baselines`` is kept verbatim across re-measurements, so the file
+documents the whole optimization history (the PR 1 seed numbers AND the
+PR 2 hot-path numbers survive the PR 3 refresh).  ``--snapshot-baseline
+KEY`` freezes the *committed* ``workloads`` numbers as a new named
+baseline before the fresh measurement replaces them.  A ``bench-core/v1``
+file (single ``baseline`` mapping) is migrated transparently on load.
+
+``--check`` re-runs a subset and fails when events/sec drops more than
+:data:`REGRESSION_TOLERANCE` below the committed ``workloads`` numbers —
+the CI perf-smoke gate.
+
+``--profile`` additionally runs each selected workload under cProfile
+and writes a per-layer attribution + top-N hotspot report
+(:mod:`repro.perf.profiling`, schema ``perf-profile/v1``) next to the
+bench file — ``BENCH_profile.json`` by default.  Profiled runs are never
+used for the gate numbers (cProfile skews them).
 
 ``--trace-out PATH`` additionally captures one *observed* reference run
 of the end-to-end system the ``fig12_quick`` workload bottoms out in and
@@ -33,8 +48,10 @@ from typing import Dict, Iterable, List, Optional
 
 from .workloads import QUICK_WORKLOADS, WORKLOADS, WorkloadResult
 
-#: schema tag written into (and required of) every report file
-BENCH_SCHEMA = "bench-core/v1"
+#: schema tag written into every report file
+BENCH_SCHEMA = "bench-core/v2"
+#: previous schema, migrated transparently on load
+BENCH_SCHEMA_V1 = "bench-core/v1"
 #: default report location: the repository root
 DEFAULT_OUTPUT = "BENCH_core.json"
 #: --check fails when current events/sec < (1 - tolerance) * committed
@@ -59,53 +76,99 @@ def run_workloads(names: Iterable[str]) -> Dict[str, WorkloadResult]:
     return results
 
 
+def _migrate_v1(data: dict) -> dict:
+    """Lift a ``bench-core/v1`` report into the v2 shape.
+
+    The v1 single ``baseline`` mapping becomes the ``seed`` baseline and
+    the v1 ``workloads`` numbers (the measurement the file was committed
+    with) are preserved as a second baseline, so no history is lost.
+    """
+    old_baseline = dict(data.get("baseline", {}))
+    label = old_baseline.pop("label", "baseline")
+    baselines = {
+        "seed": {"label": label, "workloads": old_baseline},
+        "pre-refresh": {
+            "label": "committed workloads at v1->v2 migration",
+            "workloads": dict(data.get("workloads", {})),
+        },
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "workloads": dict(data.get("workloads", {})),
+        "baselines": baselines,
+        "speedup": {},
+    }
+
+
 def load_report(path: Path) -> Optional[dict]:
-    """Parse an existing report; None when absent or unreadable."""
+    """Parse an existing report (migrating v1); None when absent/alien."""
     try:
         data = json.loads(path.read_text())
     except (OSError, ValueError):
         return None
-    if data.get("schema") != BENCH_SCHEMA:
-        return None
-    return data
+    schema = data.get("schema")
+    if schema == BENCH_SCHEMA:
+        return data
+    if schema == BENCH_SCHEMA_V1:
+        return _migrate_v1(data)
+    return None
+
+
+def _compute_speedup(workloads: dict, baselines: dict) -> dict:
+    speedup: Dict[str, Dict[str, float]] = {}
+    for name, entry in workloads.items():
+        rate = entry.get("events_per_sec")
+        if not rate:
+            continue
+        per_baseline = {}
+        for key, baseline in baselines.items():
+            base = baseline.get("workloads", {}).get(name)
+            if isinstance(base, dict) and base.get("events_per_sec"):
+                per_baseline[key] = round(
+                    rate / base["events_per_sec"], 2
+                )
+        if per_baseline:
+            speedup[name] = per_baseline
+    return speedup
 
 
 def write_report(
     results: Dict[str, WorkloadResult],
     path: Path,
     baseline_label: Optional[str] = None,
-    rebaseline: bool = False,
+    snapshot_baseline: Optional[str] = None,
 ) -> dict:
     """Merge fresh measurements into the report file at ``path``.
 
-    The first measurement (or ``rebaseline=True``) also becomes the
-    baseline; afterwards the baseline is preserved verbatim so the file
-    keeps its before/after story.
+    The first measurement also becomes the ``seed`` baseline.
+    ``snapshot_baseline`` freezes the previously *committed* workload
+    numbers under that key before they are overwritten — this is how a
+    new optimization PR preserves its predecessor's numbers.
     """
     previous = load_report(path)
     workloads = dict(previous.get("workloads", {})) if previous else {}
+    baselines = dict(previous.get("baselines", {})) if previous else {}
+
+    if snapshot_baseline and workloads:
+        baselines[snapshot_baseline] = {
+            "label": baseline_label or snapshot_baseline,
+            "workloads": dict(workloads),
+        }
+
     for name, result in results.items():
         workloads[name] = result.as_dict()
 
-    if previous and not rebaseline:
-        baseline = previous.get("baseline", {})
-    else:
-        baseline = {name: dict(entry) for name, entry in workloads.items()}
-        baseline["label"] = baseline_label or "baseline"
-
-    speedup = {}
-    for name, entry in workloads.items():
-        base = baseline.get(name)
-        if isinstance(base, dict) and base.get("events_per_sec"):
-            speedup[name] = round(
-                entry["events_per_sec"] / base["events_per_sec"], 2
-            )
+    if not baselines:
+        baselines["seed"] = {
+            "label": baseline_label or "baseline",
+            "workloads": {k: dict(v) for k, v in workloads.items()},
+        }
 
     report = {
         "schema": BENCH_SCHEMA,
         "workloads": workloads,
-        "baseline": baseline,
-        "speedup": speedup,
+        "baselines": baselines,
+        "speedup": _compute_speedup(workloads, baselines),
     }
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
@@ -185,8 +248,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="run only the fast kernel/packet/flit workloads "
-        "(skips the end-to-end fig12 run)",
+        help="run only the fast workloads (skips the end-to-end fig12 "
+        "run and the full lock-handoff chain)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -194,12 +257,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         f">{100 * REGRESSION_TOLERANCE:.0f}%% vs the committed numbers",
     )
     parser.add_argument(
-        "--rebaseline", action="store_true",
-        help="also replace the stored baseline with this measurement",
+        "--snapshot-baseline", default=None, metavar="KEY",
+        help="before updating, freeze the committed workload numbers as "
+        "a named baseline (preserves the predecessor's numbers)",
     )
     parser.add_argument(
         "--baseline-label", default=None,
         help="provenance note stored with a new baseline",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also run each selected workload under cProfile and write "
+        "a per-layer attribution + hotspot report (perf-profile/v1)",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="hotspot report path (default: BENCH_profile.json next to "
+        "--output; implies --profile)",
     )
     parser.add_argument(
         "--trace", action="store_true",
@@ -227,6 +301,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace or args.trace_out is not None:
         capture_reference_trace(Path(args.trace_out or "perf_trace.json"))
 
+    if args.profile or args.profile_out is not None:
+        from .profiling import (
+            format_layer_table,
+            profile_workloads,
+            write_profile_report,
+        )
+
+        profile_path = (
+            Path(args.profile_out)
+            if args.profile_out is not None
+            else path.parent / "BENCH_profile.json"
+        )
+        print(f"profiling {len(names)} workload(s) under cProfile:")
+        profile_report = profile_workloads(names)
+        write_profile_report(profile_report, profile_path)
+        print(format_layer_table(profile_report))
+        print(f"wrote {profile_path} (schema {profile_report['schema']})")
+
     if args.check:
         committed = load_report(path)
         if committed is None:
@@ -246,10 +338,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = write_report(
         results, path,
         baseline_label=args.baseline_label,
-        rebaseline=args.rebaseline,
+        snapshot_baseline=args.snapshot_baseline,
     )
-    for name, ratio in sorted(report["speedup"].items()):
-        print(f"  speedup vs baseline [{name}]: {ratio:.2f}x")
+    for name, ratios in sorted(report["speedup"].items()):
+        if name not in results:
+            continue
+        rendered = ", ".join(
+            f"{ratio:.2f}x vs {key}" for key, ratio in sorted(ratios.items())
+        )
+        print(f"  speedup [{name}]: {rendered}")
     print(f"wrote {path} (schema {BENCH_SCHEMA})")
     return 0
 

@@ -13,6 +13,14 @@ is pinned, only the wall time may change.  Four layers are covered:
 * ``fig12_quick``    — a cold end-to-end ``fig12 --quick`` regeneration
   (24 full-system simulations), the workload every figure harness
   bottoms out in.
+* ``dir_invalidation_storm`` — the coherence directory under repeated
+  full-mesh invalidation fan-outs (every core a sharer, a rotating
+  winner's RMW invalidates all 63 others): Inv/InvAck/AckCount bursts,
+  sharer-bitmask bookkeeping, and the message pool.
+* ``lock_handoff_chain`` — a single contended lock handed around the
+  whole CPU stack (threads, queue spin-lock sleep/wake OS path,
+  coherence transactions), the lock-critical-path shape the paper's
+  figures are made of.
 """
 
 from __future__ import annotations
@@ -151,6 +159,116 @@ def fig12_quick() -> WorkloadResult:
     return _measure("fig12_quick", run)
 
 
+# ----------------------------------------------------------------------
+# 5. Coherence-stress: directory invalidation storms
+# ----------------------------------------------------------------------
+def run_dir_invalidation_storm(rounds: int = 40):
+    """Build and run the invalidation-storm system; returns ``(sim, net)``.
+
+    Every round, all 64 cores load one block (becoming sharers), then a
+    rotating winner RMWs it — the home fans out 63 Invs, collects 63
+    InvAcks plus the AckCount, and the next round begins on commit.
+    Exercised: directory transaction fan-out, sharer/ack bitmask
+    bookkeeping, the message pool, and the L1 ack ledger.  Fully
+    deterministic (no RNG at all).
+
+    Shared with the golden-fingerprint tests, which wrap delivery to
+    hash the packet stream.
+    """
+    from ..config import SystemConfig
+    from ..coherence.memsystem import MemorySystem
+    from ..noc import Network
+
+    sim = Simulator()
+    cfg = SystemConfig()
+    net = Network(sim, cfg.noc)
+    memsys = MemorySystem(sim, cfg, net, model_dram=False)
+    net.memsys = memsys
+    num_cores = net.mesh.num_nodes
+    addr = memsys.addr_for_home(0)
+    state = {"round": 0, "outstanding": 0}
+
+    def committed(_returned: int) -> None:
+        state["round"] += 1
+        if state["round"] < rounds:
+            begin_round()
+
+    def loaded(_value: int) -> None:
+        state["outstanding"] -= 1
+        if state["outstanding"] == 0:
+            winner = state["round"] % num_cores
+            memsys.rmw(winner, addr, lambda old: (old + 1, old), committed)
+
+    def begin_round() -> None:
+        state["outstanding"] = num_cores
+        for core in range(num_cores):
+            memsys.load(core, addr, loaded)
+
+    begin_round()
+    sim.run()
+    return sim, net
+
+
+def dir_invalidation_storm() -> WorkloadResult:
+    """Directory invalidation fan-out stress (see the module docstring)."""
+
+    def run():
+        sim, _net = run_dir_invalidation_storm()
+        return sim.events_processed, sim.cycle
+
+    return _measure("dir_invalidation_storm", run)
+
+
+# ----------------------------------------------------------------------
+# 6. Coherence-stress: single-lock handoff chain
+# ----------------------------------------------------------------------
+def run_lock_handoff_chain(num_threads: int = 32, handoffs: int = 8):
+    """Build and run the handoff-chain system; returns ``(system, result)``.
+
+    One lock, ``num_threads`` threads, tiny parallel sections: the lock
+    is handed around continuously, so the run is dominated by the
+    coherence transactions and queue spin-lock sleep/wake traffic of
+    lock transfer — the critical path the paper targets.  Deterministic
+    (fixed item shapes; thread index only varies the parallel stagger).
+    """
+    from ..config import SystemConfig
+    from ..system import ManyCoreSystem
+    from ..workloads.generator import WorkItem, Workload
+
+    cfg = SystemConfig()
+    items = [
+        [
+            WorkItem(
+                parallel_cycles=20 + 3 * (t % 7),
+                lock_index=0,
+                cs_cycles=30,
+            )
+            for _ in range(handoffs)
+        ]
+        for t in range(num_threads)
+    ]
+    workload = Workload(
+        benchmark="lock_handoff_chain",
+        num_threads=num_threads,
+        num_locks=1,
+        lock_homes=[27],
+        items=items,
+    )
+    system = ManyCoreSystem(cfg, workload, primitive="qsl")
+    result = system.run(max_cycles=50_000_000)
+    return system, result
+
+
+def lock_handoff_chain() -> WorkloadResult:
+    """Single-lock handoff chain through the full CPU + coherence stack."""
+
+    def run():
+        system, _result = run_lock_handoff_chain()
+        return system.sim.events_processed, system.sim.cycle
+
+    return _measure("lock_handoff_chain", run)
+
+
 #: name -> zero-argument workload runner.  ``fig12_quick`` is the
 #: slow end-to-end one; ``--quick`` runs skip it.
 WORKLOADS: Dict[str, Callable[[], WorkloadResult]] = {
@@ -158,7 +276,15 @@ WORKLOADS: Dict[str, Callable[[], WorkloadResult]] = {
     "packet_uniform": packet_uniform,
     "flit_uniform": flit_uniform,
     "fig12_quick": fig12_quick,
+    "dir_invalidation_storm": dir_invalidation_storm,
+    "lock_handoff_chain": lock_handoff_chain,
 }
 
-#: the fast subset CI measures (pinned, seconds not minutes)
-QUICK_WORKLOADS = ("kernel_chain", "packet_uniform", "flit_uniform")
+#: the fast subset CI measures (pinned, seconds not minutes);
+#: ``dir_invalidation_storm`` is the coherence-stress representative.
+QUICK_WORKLOADS = (
+    "kernel_chain",
+    "packet_uniform",
+    "flit_uniform",
+    "dir_invalidation_storm",
+)

@@ -147,6 +147,9 @@ class ManyCoreSystem:
 
             self.faults = FaultInjector(fault_plan)
             self.faults.install(self.network)
+            # the duplicate fault aliases one message payload across two
+            # packets; recycling on first delivery would corrupt the second
+            self.memsys._recycle = False
         self.watchdog = None
         if watchdog_cycles:
             from .faults.watchdog import LivenessWatchdog

@@ -41,6 +41,17 @@ GOLDEN_RUNS = {
 # shape) -> (md5 over (src, dst, length, injected, delivered), events)
 GOLDEN_FLIT = ("49e0dffdc473d86980de9a26886aa321", 63963, 1200)
 
+# coherence-stress perf workloads (repro.perf.workloads) -> delivered-
+# packet md5 (same scheme as GOLDEN_RUNS), final cycle, sim events.
+# Captured when the workloads were introduced, alongside the bitmask/
+# pool/dispatch fast path they exercise.
+GOLDEN_PERF_WORKLOADS = {
+    "dir_invalidation_storm":
+        ("713d4a11a63a27a4f2a38f8618fb46f7", 25328, 358137),
+    "lock_handoff_chain":
+        ("efe80f80f6e2cb8497dbaa45aef24730", 61224, 893131),
+}
+
 
 def fingerprint_run(bench, mechanism, observe=None, **run_kwargs):
     """Run a small fig12-shaped simulation, hashing every delivery.
@@ -103,6 +114,53 @@ class TestGoldenFig12:
         assert fingerprint_run(bench, mechanism, observe=observe) == \
             GOLDEN_RUNS[(bench, mechanism)]
         assert observe.records(), "tracer captured no events"
+
+
+def fingerprint_perf_workload(name):
+    """Run one coherence-stress perf workload, hashing every delivery."""
+    from repro.perf.workloads import (
+        run_dir_invalidation_storm,
+        run_lock_handoff_chain,
+    )
+
+    builders = {
+        "dir_invalidation_storm": run_dir_invalidation_storm,
+        "lock_handoff_chain": run_lock_handoff_chain,
+    }
+    digest = hashlib.md5()
+    original_deliver = Network.deliver_local
+
+    def recording_deliver(self, packet):
+        digest.update(
+            b"%d,%d,%d,%d;"
+            % (packet.src, packet.dst, packet.size_flits, self.sim.cycle)
+        )
+        original_deliver(self, packet)
+
+    Network.deliver_local = recording_deliver
+    try:
+        first, _second = builders[name]()
+    finally:
+        Network.deliver_local = original_deliver
+    sim = first if isinstance(first, Simulator) else first.sim
+    return digest.hexdigest(), sim.cycle, sim.events_processed
+
+
+class TestGoldenPerfWorkloads:
+    """The tracked coherence-stress workloads are pinned work: their
+    packet streams must stay bit-exact or events/sec comparisons lie."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_PERF_WORKLOADS))
+    def test_pinned_fingerprint(self, name):
+        assert fingerprint_perf_workload(name) == \
+            GOLDEN_PERF_WORKLOADS[name]
+
+    def test_back_to_back_storms_identical(self):
+        """Per-run transaction ids: a second in-process run replays the
+        first exactly (the old process-global counter only got away with
+        it because txn ids never reach the wire)."""
+        assert fingerprint_perf_workload("dir_invalidation_storm") == \
+            fingerprint_perf_workload("dir_invalidation_storm")
 
 
 class TestGoldenFlit:
