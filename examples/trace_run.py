@@ -30,7 +30,7 @@ def main() -> None:
     snapshot = obs.counters()
     print("iNPG big-router activity:")
     for path in sorted(snapshot):
-        if path.startswith("inpg/") or path.startswith("coherence/early"):
+        if path.startswith("inpg/") or "/early" in path:
             print(f"  {path:<40} {snapshot[path]:,}")
     trace_n = len(obs.records())
     print(f"\n{trace_n:,} trace records captured "

@@ -37,7 +37,8 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from . import errors
-from .config import MECHANISMS, SystemConfig
+from .coherence.protocol import PROTOCOLS, ProtocolSpec, get_protocol
+from .config import MECHANISMS, PROTOCOL_NAMES, SystemConfig
 from .errors import (
     DeadlockError,
     ExecutorError,
@@ -71,6 +72,9 @@ __all__ = [
     "MECHANISMS",
     "ManyCoreSystem",
     "Observation",
+    "PROTOCOLS",
+    "PROTOCOL_NAMES",
+    "ProtocolSpec",
     "ProtocolViolation",
     "ReproError",
     "RunResult",
@@ -81,6 +85,7 @@ __all__ = [
     "Workload",
     "errors",
     "generate_workload",
+    "get_protocol",
     "load_result",
     "run_benchmark",
     "run_plan",

@@ -17,7 +17,7 @@ import sys
 
 from dataclasses import replace
 
-from .config import MECHANISMS, SystemConfig
+from .config import MECHANISMS, PROTOCOL_NAMES, SystemConfig
 from .exec import Executor, RunSpec
 from .locks.factory import PRIMITIVES, canonical_primitive
 from .stats.export import render_gantt, run_result_to_dict
@@ -36,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--mechanism", default="original",
                         choices=list(MECHANISMS))
+    parser.add_argument("--protocol", default="moesi",
+                        choices=list(PROTOCOL_NAMES),
+                        help="coherence protocol variant (default: the "
+                             "paper's directory MOESI)")
     parser.add_argument("--primitive", default="qsl",
                         help=f"one of {PRIMITIVES} (or paper alias TTL)")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -104,6 +108,7 @@ def main(argv=None) -> int:
         fault_plan=fault_plan,
         watchdog_cycles=args.watchdog,
         check_protocol=args.check_protocol,
+        protocol=None if args.protocol == "moesi" else args.protocol,
     )
     if args.benchmark == "microbench":
         spec = RunSpec.microbench(

@@ -1,11 +1,21 @@
-"""Online coherence protocol checker.
+"""Online coherence protocol checker — a transition-table validator.
 
 Attach a :class:`ProtocolChecker` to a :class:`MemorySystem` to validate
-the protocol's global invariants *while the simulation runs*:
+the run against the *active protocol's* declarative transition table
+(:mod:`repro.coherence.protocol`) while the simulation runs:
 
-* **SWMR** — at most one core holds a writable (M/E) copy of any block,
-  and never concurrently with shared copies;
-* **single owner** — at most one core in an owning state (M/E/O);
+* **table conformance** — every message delivered to an L1 is checked
+  against the active ``(state, event)`` table entry: a pair the table
+  marks :data:`~repro.coherence.protocol.UNHANDLED`, a state outside the
+  protocol's state set, or a resulting state the entry does not allow
+  raises a structured :class:`~repro.errors.ProtocolViolation` naming
+  the pair.  Directory deliveries are checked for pair existence (the
+  directory defers its state change past an L2-latency hop, so result
+  states are validated by the global invariants instead).
+* **SWMR** — at most one core holds a writable copy of any block, and
+  never concurrently with shared copies (writability per the *active*
+  protocol's derived permissions, not hard-coded MOESI ones);
+* **single owner** — at most one core in an owning state;
 * **tracked copies** — every Shared copy belongs to a directory-listed
   sharer, every owning copy to the directory's owner (checked at
   quiescent points: transaction boundaries);
@@ -14,8 +24,9 @@ the protocol's global invariants *while the simulation runs*:
 
 The checker samples on every directory transaction close (Unblock) plus
 an optional periodic timer.  It is pure observation — no protocol state
-is mutated — and costs O(cores) per sample, so tests enable it freely;
-production sweeps leave it off.
+is mutated (the dispatch tuples are swapped for wrapped ones, but the
+wrapped handlers delegate to the originals) — so tests enable it
+freely; production sweeps leave it off.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..errors import ProtocolViolation
 from ..sim import Component, Simulator
+from .protocol import UNHANDLED, dir_state_of
 from .states import L1State
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,6 +50,8 @@ class CheckerReport:
     samples: int = 0
     transactions_observed: int = 0
     writes_observed: int = 0
+    #: L1/directory deliveries validated against the transition table
+    transitions_checked: int = 0
     violations: List[str] = field(default_factory=list)
 
     @property
@@ -46,7 +60,8 @@ class CheckerReport:
 
 
 class ProtocolChecker(Component):
-    """Observes a memory system and validates coherence invariants."""
+    """Observes a memory system and validates it against the active
+    protocol's transition table plus the global coherence invariants."""
 
     def __init__(
         self,
@@ -57,11 +72,14 @@ class ProtocolChecker(Component):
     ):
         super().__init__(sim, "checker")
         self.memsys = memsys
+        self.protocol = memsys.protocol
         self.strict = strict
         self.report = CheckerReport()
         self._last_committed: Dict[int, int] = {}
         self._wrap_apply_rmw()
         self._wrap_unblock()
+        self._wrap_l1_dispatch()
+        self._wrap_dir_dispatch()
         if period is not None:
             self._arm_periodic(period)
 
@@ -77,7 +95,8 @@ class ProtocolChecker(Component):
             if expected is not None and before != expected:
                 self._flag(
                     f"write ordering broken at {addr:#x}: committed value "
-                    f"{before} != last observed commit {expected}"
+                    f"{before} != last observed commit {expected}",
+                    addr=addr,
                 )
             result = original(addr, op)
             self._last_committed[addr] = self.memsys.read(addr)
@@ -97,6 +116,103 @@ class ProtocolChecker(Component):
 
             directory._on_unblock = checked  # type: ignore[method-assign]
 
+    def _wrap_l1_dispatch(self) -> None:
+        """Swap each L1's tag-indexed dispatch tuple for a validating one.
+
+        ``L1Cache.handle`` reads ``self._dispatch`` at call time, so the
+        swap intercepts every delivery even though the NoC endpoints
+        captured the bound ``handle`` methods at construction.  Each
+        wrapped handler checks the (state-before, event) pair against the
+        table, runs the real handler, and checks the resulting state
+        against the entry's allowed set.
+        """
+        spec = self.protocol
+        for l1 in self.memsys.l1s.values():
+            wrapped = []
+            for handler in l1._dispatch:
+                if handler is None:
+                    wrapped.append(None)
+                    continue
+
+                def checked(msg, _handler=handler, _l1=l1):
+                    before = _l1.state_of(msg.addr)
+                    entry = spec.l1_entry(before, msg.mtype)
+                    self.report.transitions_checked += 1
+                    if entry is None:
+                        self._flag(
+                            f"L1 {_l1.node}: state {before.value} outside "
+                            f"protocol {spec.name} hit by {msg.mtype.value} "
+                            f"at {msg.addr:#x}",
+                            state=before.value, event=msg.mtype.value,
+                            core=_l1.node, addr=msg.addr,
+                        )
+                    elif entry is UNHANDLED:
+                        self._flag(
+                            f"L1 {_l1.node}: table pair ({before.value}, "
+                            f"{msg.mtype.value}) is UNHANDLED under "
+                            f"{spec.name} at {msg.addr:#x}",
+                            state=before.value, event=msg.mtype.value,
+                            core=_l1.node, addr=msg.addr,
+                        )
+                    _handler(msg)
+                    after = _l1.state_of(msg.addr)
+                    if (
+                        entry is not None
+                        and entry is not UNHANDLED
+                        and after is not before
+                        and after not in entry.allowed
+                    ):
+                        self._flag(
+                            f"L1 {_l1.node}: ({before.value}, "
+                            f"{msg.mtype.value}) -> {after.value} not in "
+                            f"table's {[s.value for s in entry.allowed]} "
+                            f"at {msg.addr:#x}",
+                            state=before.value, event=msg.mtype.value,
+                            core=_l1.node, addr=msg.addr,
+                        )
+
+                wrapped.append(checked)
+            l1._dispatch = tuple(wrapped)
+
+    def _wrap_dir_dispatch(self) -> None:
+        """Validate directory deliveries for table-pair existence.
+
+        The directory's state change happens an L2-latency hop after
+        dispatch, so only the (state-at-arrival, event) pair is checked
+        here; resulting directory states are covered by the quiescent
+        tracked-copy checks.
+        """
+        spec = self.protocol
+        for directory in self.memsys.dirs.values():
+            wrapped = []
+            for handler in directory._dispatch:
+                if handler is None:
+                    wrapped.append(None)
+                    continue
+
+                def checked(msg, _handler=handler, _dir=directory):
+                    ent = _dir.entries.get(msg.addr)
+                    state = (
+                        dir_state_of(ent) if ent is not None
+                        else dir_state_of(_EMPTY_ENTRY)
+                    )
+                    entry = spec.dir_entry(state, msg.mtype)
+                    self.report.transitions_checked += 1
+                    if entry is None or entry is UNHANDLED:
+                        self._flag(
+                            f"dir {_dir.node}: table pair ({state.value}, "
+                            f"{msg.mtype.value}) "
+                            + ("is UNHANDLED" if entry is UNHANDLED
+                               else "missing")
+                            + f" under {spec.name} at {msg.addr:#x}",
+                            state=state.value, event=msg.mtype.value,
+                            core=_dir.node, addr=msg.addr,
+                        )
+                    _handler(msg)
+
+                wrapped.append(checked)
+            directory._dispatch = tuple(wrapped)
+
     def _arm_periodic(self, period: int) -> None:
         def tick() -> None:
             self.check_all_known()
@@ -110,17 +226,27 @@ class ProtocolChecker(Component):
     def check_block(self, addr: int) -> None:
         """Validate SWMR/ownership/tracking for one block, now."""
         self.report.samples += 1
+        can_write = self.protocol.can_write
+        owns_data = self.protocol.owns_data
         writable, owners, shared = [], [], []
         for core, l1 in self.memsys.l1s.items():
             state = l1.state_of(addr)
-            if state.can_write:
+            if state not in self.protocol.l1_states:
+                self._flag(
+                    f"core {core} holds state {state.value} outside "
+                    f"protocol {self.protocol.name} at {addr:#x}",
+                    state=state.value, core=core, addr=addr,
+                )
+            if can_write[state.idx]:
                 writable.append(core)
-            if state.owns_data:
+            if owns_data[state.idx]:
                 owners.append(core)
             if state is L1State.SHARED:
                 shared.append(core)
         if len(writable) > 1:
-            self._flag(f"SWMR violated at {addr:#x}: writers {writable}")
+            self._flag(
+                f"SWMR violated at {addr:#x}: writers {writable}", addr=addr
+            )
         if writable and shared:
             # M/E concurrent with S is incoherent; transient windows are
             # possible while invalidations are in flight, so only flag
@@ -128,10 +254,13 @@ class ProtocolChecker(Component):
             ent = self.memsys.dirs[self.memsys.home_of(addr)].entry(addr)
             if not ent.busy:
                 self._flag(
-                    f"writable+shared at {addr:#x}: W={writable} S={shared}"
+                    f"writable+shared at {addr:#x}: W={writable} S={shared}",
+                    addr=addr,
                 )
         if len(owners) > 1:
-            self._flag(f"multiple owners at {addr:#x}: {owners}")
+            self._flag(
+                f"multiple owners at {addr:#x}: {owners}", addr=addr
+            )
 
     def check_all_known(self) -> None:
         for addr in list(self._last_committed):
@@ -139,6 +268,7 @@ class ProtocolChecker(Component):
 
     def check_tracked_copies(self) -> None:
         """At quiescence: every valid copy is directory-tracked."""
+        owns_data = self.protocol.owns_data
         for addr in list(self._last_committed):
             home = self.memsys.home_of(addr)
             ent = self.memsys.dirs[home].entry(addr)
@@ -146,15 +276,39 @@ class ProtocolChecker(Component):
                 state = l1.state_of(addr)
                 if state is L1State.SHARED and core not in ent.sharers:
                     self._flag(
-                        f"untracked shared copy at {addr:#x} core {core}"
+                        f"untracked shared copy at {addr:#x} core {core}",
+                        state=state.value, core=core, addr=addr,
                     )
-                if state.owns_data and ent.owner != core:
+                if owns_data[state.idx] and ent.owner != core:
                     self._flag(
                         f"untracked owner at {addr:#x}: core {core} holds "
-                        f"{state.value}, directory says {ent.owner}"
+                        f"{state.value}, directory says {ent.owner}",
+                        state=state.value, core=core, addr=addr,
                     )
 
-    def _flag(self, message: str) -> None:
+    def _flag(
+        self,
+        message: str,
+        *,
+        state: Optional[str] = None,
+        event: Optional[str] = None,
+        core: Optional[int] = None,
+        addr: Optional[int] = None,
+    ) -> None:
         self.report.violations.append(f"[cycle {self.now}] {message}")
         if self.strict:
-            raise ProtocolViolation(self.report.violations[-1])
+            raise ProtocolViolation(
+                self.report.violations[-1],
+                state=state, event=event, core=core, addr=addr,
+            )
+
+
+class _EmptyEntry:
+    """Stand-in for a block the directory has never seen (Unowned)."""
+
+    busy = False
+    owner = None
+    sharer_mask = 0
+
+
+_EMPTY_ENTRY = _EmptyEntry()

@@ -28,6 +28,15 @@ pending-InvAck sets are integer bitmasks (bit ``c`` == core ``c``), so the
 64-core invalidation fan-out walks set bits instead of rebuilding Python
 sets; :class:`DirEntry` / :class:`Transaction` are slotted; and the Inv /
 AckCount bursts draw messages from the memory system's free-list pool.
+
+Protocol family (DESIGN.md §12): the dispatch table and the two variant
+flags the handlers branch on — ``_home_takes_ownership`` (MSI/MESI have
+no O state, so sharing an owned block returns ownership to the home) and
+``_grant_exclusive_clean`` (MESI grants Exclusive on a clean GetS miss)
+— are compiled onto each instance from the active
+:class:`~repro.coherence.protocol.ProtocolSpec` at construction time.
+Under MOESI both flags are False and every path below is byte-identical
+to the pre-table code.
 """
 
 from __future__ import annotations
@@ -130,11 +139,11 @@ class DirectoryController(Component):
         self._fetching: Dict[int, list] = {}
         self._l2_latency = memsys.config.cache.l2_latency
         self._schedule = sim.schedule
-        #: msg.tag -> bound handler (the dispatch table of _HANDLER_NAMES)
-        self._dispatch = tuple(
-            getattr(self, name) if name is not None else None
-            for name in _HANDLER_NAMES
-        )
+        # lower the active protocol's transition table onto this
+        # instance: sets self.protocol, the msg.tag-indexed _dispatch
+        # tuple and the _home_takes_ownership/_grant_exclusive_clean
+        # variant flags.
+        memsys.protocol.compile_directory(self)
 
     def _with_block(self, addr: int, action, msg) -> None:
         """Run ``action(msg)`` once ``addr`` is resident in the L2 bank.
@@ -241,6 +250,10 @@ class DirectoryController(Component):
         if not copyless:
             ent.sharer_mask |= 1 << msg.requester
             ent.last_add[msg.requester] = self.now
+            if ent.owner == msg.sender:
+                # MSI/MESI: the answering winner demoted itself to
+                # Shared when it shared the copy; mirror that here.
+                self._maybe_reclaim_ownership(ent)
         relayed = CoherenceMessage(
             mtype=MessageType.DATA,
             addr=msg.addr,
@@ -279,7 +292,30 @@ class DirectoryController(Component):
                 sender=self.node,
             )
             self.memsys.send(self.node, ent.owner, fwd)
+            self._maybe_reclaim_ownership(ent)
         else:
+            if (
+                self._grant_exclusive_clean
+                and ent.owner is None
+                and ent.sharer_mask == 0
+            ):
+                # MESI clean-miss grant: the requester becomes the
+                # recorded *owner* (not a sharer) and installs E; a
+                # later GetX from it finds owner == winner and needs no
+                # FwdGetX, a GetX from anyone else FwdGetXes the line.
+                grant = CoherenceMessage(
+                    mtype=MessageType.DATA,
+                    addr=msg.addr,
+                    requester=requester,
+                    sender=self.node,
+                    exclusive=True,
+                )
+                self.memsys.send(
+                    self.node, requester, grant, data_packet=True
+                )
+                ent.owner = requester
+                ent.last_add[requester] = self.now
+                return
             data = CoherenceMessage(
                 mtype=MessageType.DATA,
                 addr=msg.addr,
@@ -289,6 +325,18 @@ class DirectoryController(Component):
             self.memsys.send(self.node, requester, data, data_packet=True)
         ent.sharer_mask |= 1 << requester
         ent.last_add[requester] = self.now
+
+    def _maybe_reclaim_ownership(self, ent: DirEntry) -> None:
+        """MSI/MESI: an owner asked to share its block demotes itself to
+        Shared, so the home reclaims ownership and re-tracks the old
+        owner as a plain sharer.  Under MOESI (owner parks in O and keeps
+        supplying data) this is a no-op."""
+        if not self._home_takes_ownership or ent.owner is None:
+            return
+        old_owner = ent.owner
+        ent.owner = None
+        ent.sharer_mask |= 1 << old_owner
+        ent.last_add[old_owner] = self.now
 
     # ------------------------------------------------------------------
     # GetX
@@ -325,6 +373,7 @@ class DirectoryController(Component):
                     generated_cycle=self.now,  # the sharer-add stamp
                 )
                 self.memsys.send(self.node, ent.owner, fwd)
+                self._maybe_reclaim_ownership(ent)
             else:
                 answer = CoherenceMessage(
                     mtype=MessageType.DATA,

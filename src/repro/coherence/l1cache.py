@@ -24,6 +24,15 @@ a pair of integer bitmasks (``expected_mask`` / ``acked_mask``), so the
 commit test is one mask subtraction; the pending records are slotted; and
 the event-loop callbacks are bound methods with arguments instead of
 per-operation closures.
+
+Protocol family (DESIGN.md §12): the dispatch table, the per-state
+permission tuples (``_can_read`` / ``_can_write`` / ``_owns``, indexed
+by ``L1State.idx``) and the variant states (``_fwd_gets_state``,
+``_fail_share_state``, ``_excl_fill_state``) are compiled onto each
+instance from the active :class:`~repro.coherence.protocol.ProtocolSpec`
+transition table at construction time — the handlers below are the
+lowered *mechanism* (message plumbing, ack ledgers, timing) while the
+per-protocol *policy* lives declaratively in ``protocol.py``.
 """
 
 from __future__ import annotations
@@ -148,11 +157,10 @@ class L1Cache(Component):
         self.rmws = 0
         self.rmw_hits = 0
         self._l1_latency = memsys.config.cache.l1_latency
-        #: msg.tag -> bound handler (the dispatch table of _HANDLER_NAMES)
-        self._dispatch = tuple(
-            getattr(self, name) if name is not None else None
-            for name in _HANDLER_NAMES
-        )
+        # lower the active protocol's transition table onto this
+        # instance: sets self.protocol, the msg.tag-indexed _dispatch
+        # tuple, _can_read/_can_write/_owns and the variant states.
+        memsys.protocol.compile_l1(self)
 
     # ------------------------------------------------------------------
     # Core-facing operations
@@ -164,7 +172,7 @@ class L1Cache(Component):
         """Read ``addr``; ``callback(value)`` fires when the load completes."""
         self.loads += 1
         latency = self._l1_latency
-        if self.state_of(addr).can_read:
+        if self._can_read[self.state_of(addr).idx]:
             self.load_hits += 1
             self._touch(addr)
             self.after(latency, self._load_hit_done, addr, callback)
@@ -227,7 +235,7 @@ class L1Cache(Component):
         self.lines[addr] = L1State.INVALID
         self._fire_monitors(addr)
         mtype = (
-            MessageType.PUT_M if state.owns_data else MessageType.PUT_S
+            MessageType.PUT_M if self._owns[state.idx] else MessageType.PUT_S
         )
         put = CoherenceMessage(
             mtype=mtype,
@@ -320,7 +328,9 @@ class L1Cache(Component):
                 f"core {self.node}: overlapping writes to {addr:#x} unsupported"
             )
         latency = self._l1_latency
-        if self.state_of(addr).can_write:
+        if self._can_write[self.state_of(addr).idx]:
+            # a write hit always lands in Modified — this is also the
+            # MESI silent E -> M upgrade (no GetX on the first write)
             self.rmw_hits += 1
             self.lines[addr] = L1State.MODIFIED
             self._touch(addr)
@@ -369,7 +379,12 @@ class L1Cache(Component):
         if pending is None:
             return
         if not pending.drop_on_fill:
-            self._install(msg.addr, L1State.SHARED)
+            # a Data flagged exclusive is the MESI clean-miss grant and
+            # installs E; plain fills install Shared in every protocol
+            self._install(
+                msg.addr,
+                self._excl_fill_state if msg.exclusive else L1State.SHARED,
+            )
         value = self.memsys.read(msg.addr)
         for cb in pending.callbacks:
             cb(value)
@@ -521,7 +536,7 @@ class L1Cache(Component):
         stale so it only releases the big router's EI entry.
         """
         stale = False
-        if msg.early and self.state_of(msg.addr).owns_data:
+        if msg.early and self._owns[self.state_of(msg.addr).idx]:
             stale = True
         else:
             self.lines[msg.addr] = L1State.INVALID
@@ -572,12 +587,14 @@ class L1Cache(Component):
         home on the same path as any future invalidation of that copy, so
         the loser can never end up holding an untracked line.
 
-        Sharing a copy demotes our exclusive line to Owned — otherwise our
-        next (release) store would commit silently while sharers exist.
+        Sharing a copy demotes our writable line (to Owned under MOESI,
+        to Shared under MSI/MESI where the home reclaims ownership) —
+        otherwise our next (release) store would commit silently while
+        sharers exist.
         """
         state = self.state_of(addr)
-        if state is L1State.MODIFIED or state is L1State.EXCLUSIVE:
-            self.lines[addr] = L1State.OWNED
+        if self._can_write[state.idx]:
+            self.lines[addr] = self._fail_share_state
         answer = CoherenceMessage(
             mtype=MessageType.DATA,
             addr=addr,
@@ -601,7 +618,7 @@ class L1Cache(Component):
         """
         state = self.state_of(msg.addr)
         if state.valid:
-            self.lines[msg.addr] = L1State.OWNED
+            self.lines[msg.addr] = self._fwd_gets_state
         data = CoherenceMessage(
             mtype=MessageType.DATA,
             addr=msg.addr,

@@ -37,6 +37,7 @@ from .messages import (
     VALUE_BY_TAG,
     _tag_flags,
 )
+from .protocol import get_protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -90,6 +91,9 @@ class MemorySystem(Component):
         super().__init__(sim, "memsystem")
         self.config = config
         self.network = network
+        #: the active protocol's transition tables; resolved before the
+        #: L1/directory controllers, whose constructors compile it.
+        self.protocol = get_protocol(config.protocol)
         self.stats = CoherenceStats()
         self.values: Dict[int, int] = {}
         #: free list for the Inv/InvAck/AckCount bursts; endpoints recycle

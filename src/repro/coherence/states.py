@@ -1,8 +1,21 @@
-"""MOESI cache line states.
+"""L1 cache line states for the MSI / MESI / MOESI protocol family.
 
-The target platform uses a directory-based MOESI protocol (Section 3.1).
-Only the states actually reachable in our transaction flows are used, but
-the full enum is provided for API completeness.
+The target platform's protocol is directory-based MOESI (Section 3.1),
+and that remains the default; since the table-driven refactor the
+protocol is a config axis (``SystemConfig.protocol``) and the sibling
+MSI / MESI variants use subsets of this enum (MSI has no E or O, MESI no
+O).  The full five-state vocabulary lives here so every variant shares
+one type.
+
+Which states can read, write or must write back is a *per-protocol*
+question — under MSI a Shared line must upgrade before writing and
+there is no silent-upgrade E state.  The authoritative predicates are
+therefore derived from the active protocol's transition table
+(:meth:`repro.coherence.protocol.ProtocolSpec._derive`) and compiled
+into each controller as ``L1State.idx``-indexed tuples.  The Enum
+properties below are kept as the MOESI-default convenience view for
+diagnostics and protocol-agnostic code; anything protocol-sensitive
+must go through the compiled tuples or the spec.
 """
 
 from __future__ import annotations
@@ -11,7 +24,7 @@ from enum import Enum
 
 
 class L1State(Enum):
-    """Stable L1 line states."""
+    """Stable L1 line states (the union over the protocol family)."""
 
     INVALID = "I"
     SHARED = "S"
@@ -29,10 +42,26 @@ class L1State(Enum):
 
     @property
     def can_write(self) -> bool:
-        """Write permission without a coherence transaction."""
+        """Write permission without a coherence transaction.
+
+        MOESI-default view; the per-protocol answer is the compiled
+        ``can_write`` tuple on each :class:`~repro.coherence.l1cache.L1Cache`.
+        """
         return self in (L1State.MODIFIED, L1State.EXCLUSIVE)
 
     @property
     def owns_data(self) -> bool:
-        """This cache is responsible for supplying the block."""
+        """This cache is responsible for supplying the block.
+
+        MOESI-default view; see :attr:`can_write`.
+        """
         return self in (L1State.MODIFIED, L1State.OWNED, L1State.EXCLUSIVE)
+
+
+#: declaration-order int encoding, mirroring ``MessageType.tag``:
+#: ``L1State.X.idx`` indexes the compiled per-protocol permission tuples.
+L1_STATES = tuple(L1State)
+N_L1_STATES = len(L1_STATES)
+for _i, _member in enumerate(L1_STATES):
+    _member.idx = _i
+del _i, _member

@@ -181,6 +181,17 @@ class SystemConfig:
     #: one thread per core, as in the paper.
     num_threads: int = 64
     seed: int = 2018
+    #: coherence protocol variant (``repro.coherence.protocol``): the
+    #: paper's directory MOESI by default; ``msi`` / ``mesi`` select the
+    #: sibling transition tables for protocol ablations.
+    protocol: str = "moesi"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise ValueError(
+                f"unknown coherence protocol {self.protocol!r}; "
+                f"choose from {PROTOCOL_NAMES}"
+            )
 
     def with_mechanism(self, mechanism: str) -> "SystemConfig":
         """Return a copy configured as one of the paper's four cases.
@@ -218,3 +229,7 @@ class SystemConfig:
 
 #: The four comparative cases of Section 5.1.
 MECHANISMS = ("original", "ocor", "inpg", "inpg+ocor")
+
+#: The coherence protocol family (default first); the specs themselves
+#: live in ``repro.coherence.protocol``.
+PROTOCOL_NAMES = ("moesi", "msi", "mesi")

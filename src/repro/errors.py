@@ -97,7 +97,31 @@ class ProtocolViolation(ReproError, AssertionError):
 
     (Re-homed from ``repro.coherence.checker``; ``AssertionError`` stays
     a base for backward compatibility.)
+
+    Since the table-driven protocol refactor the checker validates
+    observed transitions against the active protocol's transition table;
+    a violation triggered by a specific event names the offending
+    ``(state, event)`` pair in the structured fields.
     """
+
+    def __init__(
+        self,
+        message: str = "coherence invariant violated",
+        *,
+        state: Optional[str] = None,
+        event: Optional[str] = None,
+        core: Optional[int] = None,
+        addr: Optional[int] = None,
+    ):
+        super().__init__(message)
+        #: the stable state the event hit (e.g. ``"M"``), if applicable
+        self.state = state
+        #: the event name (message type value or local pseudo-event)
+        self.event = event
+        #: the core / home node where the pair occurred
+        self.core = core
+        #: the block address involved
+        self.addr = addr
 
 
 class RunTimeout(ReproError):

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, Optional, TYPE_CHECKING, Tuple
 
 from ..config import SystemConfig
@@ -82,6 +82,9 @@ class RunSpec:
     watchdog_cycles: Optional[int] = None
     #: attach the online coherence :class:`~repro.coherence.checker.ProtocolChecker`
     check_protocol: bool = False
+    #: coherence protocol variant (``moesi`` / ``msi`` / ``mesi``);
+    #: ``None`` keeps whatever ``config`` carries (MOESI by default)
+    protocol: Optional[str] = None
 
     def __post_init__(self):
         # normalize so equal specs hash equally regardless of the
@@ -113,8 +116,10 @@ class RunSpec:
         return self.benchmark == MICROBENCH
 
     def resolved_config(self) -> SystemConfig:
-        """The effective config: base (or defaults) + mechanism case."""
+        """The effective config: base (or defaults) + protocol + mechanism."""
         base = self.config or SystemConfig()
+        if self.protocol is not None and self.protocol != base.protocol:
+            base = replace(base, protocol=self.protocol)
         if self.mechanism is None:
             return base
         return base.with_mechanism(self.mechanism)
@@ -142,6 +147,11 @@ class RunSpec:
             "max_cycles": self.max_cycles,
             "config": asdict(self.resolved_config()),
         }
+        # the default protocol is elided so every pre-protocol-axis
+        # fingerprint (= cache address) and golden stays valid; a
+        # non-default protocol is a different run and addresses itself
+        if payload["config"].get("protocol") == "moesi":
+            del payload["config"]["protocol"]
         if self.is_microbench:
             payload["workload"] = self.microbench_params()
         # robustness knobs: keys exist only when active so legacy
@@ -169,6 +179,9 @@ class RunSpec:
             f"{self.benchmark}[{mech}/{self.primitive}"
             f" scale={self.scale} seed={self.seed}"
         )
+        proto = self.resolved_config().protocol
+        if proto != "moesi":
+            text += f" protocol={proto}"
         if self.fault_plan is not None and self.fault_plan.enabled:
             text += f" faults={self.fault_plan.describe()}"
         return text + "]"

@@ -19,6 +19,7 @@ Module                  Paper content
 
 from . import (
     ablation_lco,
+    ablation_protocol,
     fig02_lco,
     fig07_synthesis,
     fig08_cs_chars,
@@ -48,6 +49,7 @@ from .sweep import Sweep, SweepPoint, vary
 __all__ = [
     "ExperimentOptions",
     "ablation_lco",
+    "ablation_protocol",
     "benchmarks_for",
     "cached_run",
     "execute",

@@ -86,6 +86,9 @@ class ExperimentOptions:
     watchdog_cycles: Optional[int] = None
     #: attach the online coherence protocol checker to every run
     check_protocol: bool = False
+    #: coherence protocol variant for every run that does not pin its
+    #: own (``moesi`` / ``msi`` / ``mesi``); ``None`` = spec default
+    protocol: Optional[str] = None
     #: per-run wall-clock budget (seconds); a timed-out run raises
     #: :class:`~repro.errors.RunTimeout` and is never cached
     timeout_s: Optional[float] = None
@@ -113,6 +116,8 @@ class ExperimentOptions:
             updates["watchdog_cycles"] = self.watchdog_cycles
         if self.check_protocol and not spec.check_protocol:
             updates["check_protocol"] = True
+        if self.protocol is not None and spec.protocol is None:
+            updates["protocol"] = self.protocol
         return replace(spec, **updates) if updates else spec
 
     def executor_policy(self) -> Dict[str, object]:

@@ -23,9 +23,11 @@ import argparse
 import sys
 import time
 
+from ..config import PROTOCOL_NAMES
 from ..exec import Executor
 from . import (
     ablation_lco,
+    ablation_protocol,
     common,
     fig02_lco,
     fig07_synthesis,
@@ -44,6 +46,7 @@ from . import (
 #: ``ExperimentOptions`` (figures with nothing to sweep ignore it)
 EXPERIMENTS = {
     "ablation": ablation_lco,
+    "protocols": ablation_protocol,
     "table1": table1_config,
     "fig2": fig02_lco,
     "fig7": fig07_synthesis,
@@ -84,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="workload scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--protocol", default=None, choices=list(PROTOCOL_NAMES),
+        help="coherence protocol variant for every run (default: the "
+             "paper's directory MOESI; the 'protocols' experiment "
+             "sweeps all variants unless this pins one)",
+    )
+    parser.add_argument(
+        "--check-protocol", action="store_true",
+        help="attach the online coherence protocol checker to every run "
+             "(checked runs cache separately from unchecked ones)",
     )
     parser.add_argument(
         "--jobs", "-j", type=int, default=None,
@@ -152,7 +166,12 @@ def main(argv=None) -> int:
             on_error=args.on_error,
         )
     )
-    options = common.ExperimentOptions(quick=not args.full, scale=args.scale)
+    options = common.ExperimentOptions(
+        quick=not args.full,
+        scale=args.scale,
+        protocol=args.protocol,
+        check_protocol=args.check_protocol,
+    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()

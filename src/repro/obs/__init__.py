@@ -165,8 +165,11 @@ class Observation:
 
         memsys = system.memsys
         stats = memsys.stats
+        # the active protocol names the namespace so counter paths in
+        # traces/campaign JSON are self-describing across ablations
+        proto = memsys.config.protocol
         reg.gauges(
-            "coherence",
+            f"coherence/{proto}",
             early_invs_generated=lambda: stats.early_invs_generated,
             getx_stopped=lambda: stats.getx_stopped,
             barrier_table_overflows=lambda: stats.barrier_table_overflows,
@@ -177,7 +180,7 @@ class Observation:
 
         for mtype in MessageType:
             reg.gauge(
-                f"coherence/msg/{mtype.value}",
+                f"coherence/{proto}/msg/{mtype.value}",
                 lambda mt=mtype.value: stats.msg_counts.get(mt, 0),
             )
         if emit is not None:

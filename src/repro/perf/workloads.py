@@ -162,7 +162,7 @@ def fig12_quick() -> WorkloadResult:
 # ----------------------------------------------------------------------
 # 5. Coherence-stress: directory invalidation storms
 # ----------------------------------------------------------------------
-def run_dir_invalidation_storm(rounds: int = 40):
+def run_dir_invalidation_storm(rounds: int = 40, protocol: str = "moesi"):
     """Build and run the invalidation-storm system; returns ``(sim, net)``.
 
     Every round, all 64 cores load one block (becoming sharers), then a
@@ -172,15 +172,20 @@ def run_dir_invalidation_storm(rounds: int = 40):
     bookkeeping, the message pool, and the L1 ack ledger.  Fully
     deterministic (no RNG at all).
 
+    ``protocol`` selects the coherence variant (the first load of each
+    round is a clean GetS miss, so MESI's Exclusive grant fires here).
+
     Shared with the golden-fingerprint tests, which wrap delivery to
     hash the packet stream.
     """
+    from dataclasses import replace
+
     from ..config import SystemConfig
     from ..coherence.memsystem import MemorySystem
     from ..noc import Network
 
     sim = Simulator()
-    cfg = SystemConfig()
+    cfg = replace(SystemConfig(), protocol=protocol)
     net = Network(sim, cfg.noc)
     memsys = MemorySystem(sim, cfg, net, model_dram=False)
     net.memsys = memsys

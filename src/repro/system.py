@@ -205,7 +205,12 @@ class ManyCoreSystem:
         self.timeline.close_all(self._finished_cycle)
         mechanism = self._mechanism_name()
         result = RunResult(
-            extra={"sim_events": float(self.sim.events_processed)},
+            # the active coherence protocol name makes campaign JSON and
+            # traces self-describing across protocol ablations
+            extra={
+                "sim_events": float(self.sim.events_processed),
+                "coherence/protocol": self.config.protocol,
+            },
             mechanism=mechanism,
             primitive=self.primitive,
             benchmark=self.workload.benchmark,

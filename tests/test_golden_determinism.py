@@ -37,6 +37,36 @@ GOLDEN_RUNS = {
         ("c5d897ec2a81a2d581fa4c2ed1f40252", 15155, 9019, 243517),
 }
 
+# protocol-family pins (same scheme as GOLDEN_RUNS): the table-compiled
+# MSI/MESI variants are deterministic too, and deliberately *different*
+# work than MOESI — a protocol switch that silently falls back to the
+# default would reproduce the MOESI stream and trip these.
+# MESI matches MSI on fig12 lock workloads by design: lock words are
+# first touched by an atomic (GetX), so the clean-GetS exclusive grant
+# never fires here; the storm pins below separate all three.
+GOLDEN_PROTOCOL_RUNS = {
+    ("msi", "bwaves", "original"):
+        ("69f806569f180ebe090377e4f6b0de6b", 4069, 1158, 26821),
+    ("msi", "bwaves", "inpg"):
+        ("8f29e6bd5479ccf411e692f4a31f6d77", 4069, 1169, 27106),
+    ("msi", "fluidanimate", "inpg"):
+        ("5f03be31f94724130a22e7325800b3ca", 13336, 9679, 256064),
+    ("mesi", "bwaves", "original"):
+        ("69f806569f180ebe090377e4f6b0de6b", 4069, 1158, 26821),
+    ("mesi", "bwaves", "inpg"):
+        ("8f29e6bd5479ccf411e692f4a31f6d77", 4069, 1169, 27106),
+    ("mesi", "fluidanimate", "inpg"):
+        ("5f03be31f94724130a22e7325800b3ca", 13336, 9679, 256064),
+}
+
+# dir_invalidation_storm per protocol (load-first rounds, so the MESI
+# exclusive grant fires and all three streams diverge).
+GOLDEN_PROTOCOL_STORM = {
+    "moesi": ("713d4a11a63a27a4f2a38f8618fb46f7", 25328, 358137),
+    "msi": ("4531e309efbe429890447a6afe3681ba", 28799, 316485),
+    "mesi": ("4f5ddcda675cfb4c76f011da55ca0522", 28803, 316489),
+}
+
 # flit-level model: uniform-random traffic, seed 11 (the perf workload
 # shape) -> (md5 over (src, dst, length, injected, delivered), events)
 GOLDEN_FLIT = ("49e0dffdc473d86980de9a26886aa321", 63963, 1200)
@@ -116,8 +146,12 @@ class TestGoldenFig12:
         assert observe.records(), "tracer captured no events"
 
 
-def fingerprint_perf_workload(name):
-    """Run one coherence-stress perf workload, hashing every delivery."""
+def fingerprint_perf_workload(name, **workload_kwargs):
+    """Run one coherence-stress perf workload, hashing every delivery.
+
+    ``workload_kwargs`` pass through to the workload builder (the
+    protocol-family tests use ``protocol=``).
+    """
     from repro.perf.workloads import (
         run_dir_invalidation_storm,
         run_lock_handoff_chain,
@@ -139,7 +173,7 @@ def fingerprint_perf_workload(name):
 
     Network.deliver_local = recording_deliver
     try:
-        first, _second = builders[name]()
+        first, _second = builders[name](**workload_kwargs)
     finally:
         Network.deliver_local = original_deliver
     sim = first if isinstance(first, Simulator) else first.sim
@@ -161,6 +195,38 @@ class TestGoldenPerfWorkloads:
         it because txn ids never reach the wire)."""
         assert fingerprint_perf_workload("dir_invalidation_storm") == \
             fingerprint_perf_workload("dir_invalidation_storm")
+
+
+class TestGoldenProtocolFamily:
+    """The MSI/MESI sibling tables are deterministic, pinned, and do
+    distinct work from the MOESI default."""
+
+    @pytest.mark.parametrize(
+        "protocol,bench,mechanism", sorted(GOLDEN_PROTOCOL_RUNS),
+        ids="/".join,
+    )
+    def test_pinned_fingerprint(self, protocol, bench, mechanism):
+        from dataclasses import replace
+
+        from repro.config import SystemConfig
+
+        config = replace(SystemConfig(), protocol=protocol)
+        assert fingerprint_run(bench, mechanism, config=config) == \
+            GOLDEN_PROTOCOL_RUNS[(protocol, bench, mechanism)]
+
+    @pytest.mark.parametrize("protocol", sorted(GOLDEN_PROTOCOL_STORM))
+    def test_pinned_storm_fingerprint(self, protocol):
+        assert fingerprint_perf_workload(
+            "dir_invalidation_storm", protocol=protocol
+        ) == GOLDEN_PROTOCOL_STORM[protocol]
+
+    def test_protocols_do_distinct_work(self):
+        """MSI diverges from MOESI on the lock runs, and the storm's
+        load-first rounds separate all three protocols pairwise."""
+        assert GOLDEN_PROTOCOL_RUNS[("msi", "bwaves", "original")] != \
+            GOLDEN_RUNS[("bwaves", "original")]
+        storm_pins = set(GOLDEN_PROTOCOL_STORM.values())
+        assert len(storm_pins) == len(GOLDEN_PROTOCOL_STORM)
 
 
 class TestGoldenFlit:

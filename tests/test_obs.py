@@ -230,9 +230,10 @@ class TestObservedRun:
         # iNPG big routers registered under inpg/bigN
         big = {k for k in counters if k.startswith("inpg/big")}
         assert big and any(k.endswith("invs_generated") for k in big)
+        # coherence counters live under the active protocol's namespace
         assert sum(
             counters[k] for k in big if k.endswith("invs_generated")
-        ) == counters["coherence/early_invs_generated"]
+        ) == counters["coherence/moesi/early_invs_generated"]
 
     def test_payload_folded_into_result(self, observed_run):
         observe, result = observed_run
