@@ -17,7 +17,7 @@ import sys
 
 from dataclasses import replace
 
-from .config import MECHANISMS, PROTOCOL_NAMES, SystemConfig
+from .config import FLIT_ENGINES, MECHANISMS, PROTOCOL_NAMES, SystemConfig
 from .exec import Executor, RunSpec
 from .locks.factory import PRIMITIVES, canonical_primitive
 from .stats.export import render_gantt, run_result_to_dict
@@ -42,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "paper's directory MOESI)")
     parser.add_argument("--primitive", default="qsl",
                         help=f"one of {PRIMITIVES} (or paper alias TTL)")
+    parser.add_argument("--flit-engine", default=None,
+                        choices=list(FLIT_ENGINES),
+                        help="run the NoC at flit granularity with this "
+                             "engine ('event' = reference, 'vector' = "
+                             "cycle-batched arrays, bit-exact); implies "
+                             "noc.flit_level, so it excludes "
+                             "--mechanism inpg")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor")
     parser.add_argument("--seed", type=int, default=2018)
@@ -110,13 +117,20 @@ def main(argv=None) -> int:
         check_protocol=args.check_protocol,
         protocol=None if args.protocol == "moesi" else args.protocol,
     )
+    base_config = SystemConfig()
+    if args.flit_engine is not None:
+        base_config = replace(
+            base_config,
+            noc=replace(base_config.noc, flit_level=True,
+                        flit_engine=args.flit_engine),
+        )
     if args.benchmark == "microbench":
         spec = RunSpec.microbench(
             home_node=args.home,
             mechanism=args.mechanism,
             primitive=primitive,
             seed=args.seed,
-            config=replace(SystemConfig(), num_threads=args.threads),
+            config=replace(base_config, num_threads=args.threads),
             **robust,
         )
     else:
@@ -126,6 +140,7 @@ def main(argv=None) -> int:
             primitive=primitive,
             scale=args.scale,
             seed=args.seed,
+            config=None if args.flit_engine is None else base_config,
             **robust,
         )
     traced = args.trace or args.trace_out is not None

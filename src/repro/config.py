@@ -80,6 +80,17 @@ class NocConfig:
     #: run on the detailed flit-level router model instead of the
     #: packet-level one (validation mode; ~10x slower, no iNPG support).
     flit_level: bool = False
+    #: flit-level engine: ``event`` is the per-event reference router,
+    #: ``vector`` the cycle-batched array fabric (``repro.noc.vecflit``,
+    #: bit-exact against the event engine; requires single-cycle links).
+    flit_engine: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.flit_engine not in FLIT_ENGINES:
+            raise ValueError(
+                f"unknown flit engine {self.flit_engine!r}; "
+                f"choose from {FLIT_ENGINES}"
+            )
     #: one cache block = one 8-flit packet; control messages are 1 flit.
     data_packet_flits: int = 8
     ctrl_packet_flits: int = 1
@@ -233,3 +244,7 @@ MECHANISMS = ("original", "ocor", "inpg", "inpg+ocor")
 #: The coherence protocol family (default first); the specs themselves
 #: live in ``repro.coherence.protocol``.
 PROTOCOL_NAMES = ("moesi", "msi", "mesi")
+
+#: Flit-level fabric engines (default first): the event-driven reference
+#: router and the vectorized cycle-batched fabric behind the same API.
+FLIT_ENGINES = ("event", "vector")

@@ -38,6 +38,7 @@ __all__ = [
     "ReproError",
     "RunTimeout",
     "SimulationError",
+    "UnsupportedFaultSite",
 ]
 
 
@@ -122,6 +123,30 @@ class ProtocolViolation(ReproError, AssertionError):
         self.core = core
         #: the block address involved
         self.addr = addr
+
+
+class UnsupportedFaultSite(ReproError, ValueError):
+    """A fault plan names sites the active network model cannot honor.
+
+    The flit-level fabrics expose no per-router/per-link hooks, so only
+    ``inject`` sites are installable there; a plan carrying router or
+    link sites is refused up front — with the offending site kinds and
+    the network model named — rather than silently dropped.
+    (``ValueError`` stays a base so legacy handlers keep catching it.)
+    """
+
+    def __init__(
+        self,
+        message: str = "fault plan names unsupported sites",
+        *,
+        model: Optional[str] = None,
+        site_kinds: Tuple[str, ...] = (),
+    ):
+        super().__init__(message)
+        #: the refusing network model (e.g. ``"flit/vector"``)
+        self.model = model
+        #: the unsupported site kinds in the plan (e.g. ``("router",)``)
+        self.site_kinds = tuple(site_kinds)
 
 
 class RunTimeout(ReproError):

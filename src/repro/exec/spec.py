@@ -152,6 +152,11 @@ class RunSpec:
         # non-default protocol is a different run and addresses itself
         if payload["config"].get("protocol") == "moesi":
             del payload["config"]["protocol"]
+        # same treatment for the flit-engine axis: the default event
+        # engine keeps pre-axis fingerprints; "vector" is bit-exact but
+        # addresses itself (distinct cache entries, honest provenance)
+        if payload["config"]["noc"].get("flit_engine") == "event":
+            del payload["config"]["noc"]["flit_engine"]
         if self.is_microbench:
             payload["workload"] = self.microbench_params()
         # robustness knobs: keys exist only when active so legacy

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Tuple
 
+from ..errors import UnsupportedFaultSite
 from ..noc.packet import Packet
 from ..sim import make_rng
 from .plan import FaultPlan, FaultSite, split_sites
@@ -94,8 +95,16 @@ class FaultInjector:
                     raise ValueError(f"no link {src}->{dst} in this mesh")
                 self._wrap_link(router, dst, tuple(sites))
         elif wildcard or per_router or per_link:
-            raise ValueError(
-                "the flit-level fabric supports only 'inject' fault sites"
+            kinds = []
+            if wildcard or per_router:
+                kinds.append("router")
+            if per_link:
+                kinds.append("link")
+            model = getattr(network, "fault_model_name", "flit")
+            raise UnsupportedFaultSite(
+                f"the {model} fabric supports only 'inject' fault sites "
+                f"(plan names {'/'.join(kinds)} sites)",
+                model=model, site_kinds=tuple(kinds),
             )
         if inject:
             network._fault_inject = self._make_inject_hook(tuple(inject))

@@ -1,9 +1,12 @@
 """Network-on-chip substrate: mesh, XY routing, routers, fabric.
 
 Two fidelity levels: the packet-granularity :class:`Network` used by the
-full system, and the flit-level validation model in
-:mod:`repro.noc.flitsim`.  Synthetic traffic patterns and load sweeps
-live in :mod:`repro.noc.traffic`.
+full system, and the flit-level validation model — itself available as
+two bit-exact engines, the event-driven reference
+(:mod:`repro.noc.flitsim`) and the cycle-batched vector engine
+(:mod:`repro.noc.vecflit`); :func:`make_flit_network` selects one by
+name.  Synthetic traffic patterns and load sweeps live in
+:mod:`repro.noc.traffic`.
 """
 
 from .flitsim import FlitNetwork, FlitPacket, FlitRouter
@@ -18,12 +21,19 @@ from .traffic import (
     latency_load_curve,
     run_packet_traffic,
 )
+from .vecflit import (
+    HAS_NUMPY,
+    VectorFlitFabric,
+    VectorFlitNetwork,
+    make_flit_network,
+)
 
 __all__ = [
     "CONTINUE",
     "FlitNetwork",
     "FlitPacket",
     "FlitRouter",
+    "HAS_NUMPY",
     "Mesh",
     "Network",
     "OutputPort",
@@ -32,6 +42,9 @@ __all__ = [
     "Router",
     "STOPPED",
     "TrafficResult",
+    "VectorFlitFabric",
+    "VectorFlitNetwork",
     "latency_load_curve",
+    "make_flit_network",
     "run_packet_traffic",
 ]

@@ -37,6 +37,8 @@ class FlitFabric(Component):
     #: has no per-router hooks, so ``inject`` is the only site type the
     #: fabric supports (router/link sites raise at install time).
     _fault_inject = None
+    #: names this model in structured fault-refusal errors
+    fault_model_name = "flit/event"
 
     def __init__(self, sim: Simulator, config: NocConfig,
                  priority_arbitration: bool = False):

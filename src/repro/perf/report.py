@@ -21,6 +21,11 @@ KEY`` freezes the *committed* ``workloads`` numbers as a new named
 baseline before the fresh measurement replaces them.  A ``bench-core/v1``
 file (single ``baseline`` mapping) is migrated transparently on load.
 
+Each baseline carries an integer ``order`` (0 = oldest); snapshots get
+the next free slot.  Speedups are always *rendered* oldest-first by that
+field — the JSON file itself is written with sorted keys, so key order
+in the file is alphabetical and deliberately carries no meaning.
+
 ``--check`` re-runs a subset and fails when events/sec drops more than
 :data:`REGRESSION_TOLERANCE` below the committed ``workloads`` numbers —
 the CI perf-smoke gate.
@@ -44,9 +49,15 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
-from .workloads import QUICK_WORKLOADS, WORKLOADS, WorkloadResult
+from .workloads import (
+    FLIT_ENGINES,
+    QUICK_WORKLOADS,
+    WORKLOADS,
+    WorkloadResult,
+    with_flit_engine,
+)
 
 #: schema tag written into every report file
 BENCH_SCHEMA = "bench-core/v2"
@@ -58,14 +69,23 @@ DEFAULT_OUTPUT = "BENCH_core.json"
 REGRESSION_TOLERANCE = 0.30
 
 
-def run_workloads(names: Iterable[str]) -> Dict[str, WorkloadResult]:
-    """Execute the named workloads (in the given order)."""
+def run_workloads(
+    names: Iterable[str],
+    registry: Optional[Dict[str, Callable[[], WorkloadResult]]] = None,
+) -> Dict[str, WorkloadResult]:
+    """Execute the named workloads (in the given order).
+
+    ``registry`` substitutes the workload table — e.g. the
+    engine-forced view from
+    :func:`repro.perf.workloads.with_flit_engine`.
+    """
+    table = WORKLOADS if registry is None else registry
     results: Dict[str, WorkloadResult] = {}
     for name in names:
-        runner = WORKLOADS.get(name)
+        runner = table.get(name)
         if runner is None:
             raise KeyError(
-                f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+                f"unknown workload {name!r}; known: {sorted(table)}"
             )
         result = runner()
         results[name] = result
@@ -86,9 +106,10 @@ def _migrate_v1(data: dict) -> dict:
     old_baseline = dict(data.get("baseline", {}))
     label = old_baseline.pop("label", "baseline")
     baselines = {
-        "seed": {"label": label, "workloads": old_baseline},
+        "seed": {"label": label, "order": 0, "workloads": old_baseline},
         "pre-refresh": {
             "label": "committed workloads at v1->v2 migration",
+            "order": 1,
             "workloads": dict(data.get("workloads", {})),
         },
     }
@@ -112,6 +133,62 @@ def load_report(path: Path) -> Optional[dict]:
     if schema == BENCH_SCHEMA_V1:
         return _migrate_v1(data)
     return None
+
+
+def baseline_keys_chronological(baselines: dict) -> List[str]:
+    """Baseline keys oldest-first, by their ``order`` field.
+
+    Entries written before the field existed sort first (order ``-1``)
+    in file order; ties break on the key so rendering is deterministic.
+    """
+    return sorted(baselines, key=lambda k: (baselines[k].get("order", -1), k))
+
+
+def _next_order(baselines: dict) -> int:
+    return 1 + max(
+        (b.get("order", -1) for b in baselines.values()), default=-1
+    )
+
+
+def format_speedup_table(report: dict, names: Optional[Iterable[str]] = None) -> str:
+    """Render per-workload speedups, baselines as columns oldest-first.
+
+    The header names every comparison baseline explicitly (``vs <key>``)
+    so a reader never has to guess which predecessor a ratio is against;
+    the newest baseline — the one a fresh optimization PR is judged by —
+    is marked ``(comparison)``.
+    """
+    baselines = report.get("baselines", {})
+    speedup = report.get("speedup", {})
+    keys = baseline_keys_chronological(baselines)
+    if names is not None:
+        wanted = set(names)
+        rows = [n for n in speedup if n in wanted]
+    else:
+        rows = list(speedup)
+    rows.sort()
+    if not keys or not rows:
+        return ""
+    headers = [f"vs {key}" for key in keys]
+    headers[-1] += " (comparison)"
+    widths = [max(len(h), 8) for h in headers]
+    name_w = max([len("workload")] + [len(n) for n in rows])
+    lines = [
+        f"{'workload':<{name_w}}  "
+        + "  ".join(f"{h:>{w}}" for h, w in zip(headers, widths))
+    ]
+    lines.append("-" * len(lines[0]))
+    for name in rows:
+        ratios = speedup.get(name, {})
+        cells = []
+        for key, w in zip(keys, widths):
+            ratio = ratios.get(key)
+            cells.append(
+                f"{ratio:>{w - 1}.2f}x" if ratio is not None
+                else f"{'-':>{w}}"
+            )
+        lines.append(f"{name:<{name_w}}  " + "  ".join(cells))
+    return "\n".join(lines)
 
 
 def _compute_speedup(workloads: dict, baselines: dict) -> dict:
@@ -152,6 +229,7 @@ def write_report(
     if snapshot_baseline and workloads:
         baselines[snapshot_baseline] = {
             "label": baseline_label or snapshot_baseline,
+            "order": _next_order(baselines),
             "workloads": dict(workloads),
         }
 
@@ -161,6 +239,7 @@ def write_report(
     if not baselines:
         baselines["seed"] = {
             "label": baseline_label or "baseline",
+            "order": 0,
             "workloads": {k: dict(v) for k, v in workloads.items()},
         }
 
@@ -177,10 +256,13 @@ def write_report(
 def check_against(
     results: Dict[str, WorkloadResult],
     committed: dict,
-    tolerance: float = REGRESSION_TOLERANCE,
+    tolerance: Optional[float] = REGRESSION_TOLERANCE,
 ) -> List[str]:
     """Regression check: fresh results vs the committed ``workloads``.
 
+    ``tolerance=None`` skips the rate gate and checks only the pinned
+    event counts (the ``--flit-engine`` A/B mode: a non-canonical
+    engine's rate is not comparable, its simulated work must be).
     Returns a list of human-readable failures (empty = pass).
     """
     failures: List[str] = []
@@ -192,8 +274,11 @@ def check_against(
         committed_rate = entry.get("events_per_sec", 0.0)
         if committed_rate <= 0:
             continue
-        floor = (1.0 - tolerance) * committed_rate
-        if result.events_per_sec < floor:
+        floor = (
+            (1.0 - tolerance) * committed_rate
+            if tolerance is not None else 0.0
+        )
+        if tolerance is not None and result.events_per_sec < floor:
             failures.append(
                 f"{name}: {result.events_per_sec:,.0f} ev/s is "
                 f"{100 * (1 - result.events_per_sec / committed_rate):.1f}% "
@@ -257,6 +342,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f">{100 * REGRESSION_TOLERANCE:.0f}%% vs the committed numbers",
     )
     parser.add_argument(
+        "--flit-engine", default=None, choices=list(FLIT_ENGINES),
+        help="force every flit-level workload onto this engine (A/B "
+        "runs; the engines are bit-exact, so pinned event counts are "
+        "unchanged).  Refuses to rewrite the report: the committed "
+        "numbers always use each workload's canonical engine",
+    )
+    parser.add_argument(
         "--snapshot-baseline", default=None, metavar="KEY",
         help="before updating, freeze the committed workload numbers as "
         "a named baseline (preserves the predecessor's numbers)",
@@ -294,9 +386,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         names = list(WORKLOADS)
 
+    registry = None
+    if args.flit_engine is not None:
+        if not args.check:
+            print(
+                "error: --flit-engine is for A/B --check runs only; the "
+                "committed report pins each workload's canonical engine",
+                file=sys.stderr,
+            )
+            return 2
+        registry = with_flit_engine(args.flit_engine)
+        print(f"flit workloads forced onto the {args.flit_engine} engine")
+
     path = Path(args.output)
     print(f"measuring {len(names)} workload(s): {', '.join(names)}")
-    results = run_workloads(names)
+    results = run_workloads(names, registry=registry)
 
     if args.trace or args.trace_out is not None:
         capture_reference_trace(Path(args.trace_out or "perf_trace.json"))
@@ -325,14 +429,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: no committed report at {path} to check against",
                   file=sys.stderr)
             return 2
-        failures = check_against(results, committed)
+        failures = check_against(
+            results, committed,
+            tolerance=None if args.flit_engine else REGRESSION_TOLERANCE,
+        )
         if failures:
             print("PERF REGRESSION:", file=sys.stderr)
             for failure in failures:
                 print(f"  - {failure}", file=sys.stderr)
             return 1
-        print(f"perf check passed (within {100 * REGRESSION_TOLERANCE:.0f}% "
-              f"of {path})")
+        if args.flit_engine:
+            print(f"pinned-work check passed under the {args.flit_engine} "
+                  f"engine (rates not gated on a non-canonical engine)")
+        else:
+            print(f"perf check passed (within "
+                  f"{100 * REGRESSION_TOLERANCE:.0f}% of {path})")
         return 0
 
     report = write_report(
@@ -340,13 +451,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline_label=args.baseline_label,
         snapshot_baseline=args.snapshot_baseline,
     )
-    for name, ratios in sorted(report["speedup"].items()):
-        if name not in results:
-            continue
-        rendered = ", ".join(
-            f"{ratio:.2f}x vs {key}" for key, ratio in sorted(ratios.items())
-        )
-        print(f"  speedup [{name}]: {rendered}")
+    table = format_speedup_table(report, names=results)
+    if table:
+        print(table)
     print(f"wrote {path} (schema {BENCH_SCHEMA})")
     return 0
 

@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict
 
-from ..config import NocConfig
+from ..config import FLIT_ENGINES, NocConfig
 from ..sim import Simulator, make_rng
 
 
@@ -114,13 +114,15 @@ def packet_uniform(
 # ----------------------------------------------------------------------
 # 3. Flit-level NoC
 # ----------------------------------------------------------------------
-def flit_uniform(packets: int = 1_200, seed: int = 11) -> WorkloadResult:
+def flit_uniform(
+    packets: int = 1_200, seed: int = 11, engine: str = "event"
+) -> WorkloadResult:
     """Uniform-random packets through the flit-level validation model."""
-    from ..noc.flitsim import FlitNetwork
+    from ..noc.vecflit import make_flit_network
 
     def run():
         sim = Simulator()
-        net = FlitNetwork(sim, NocConfig(width=8, height=8))
+        net = make_flit_network(sim, NocConfig(width=8, height=8), engine)
         rng = make_rng(seed, "perf/flit")
         n = net.mesh.num_nodes
         for i in range(packets):
@@ -137,6 +139,67 @@ def flit_uniform(packets: int = 1_200, seed: int = 11) -> WorkloadResult:
         return sim.events_processed, sim.cycle
 
     return _measure("flit_uniform", run)
+
+
+def flit_vector_uniform(
+    packets: int = 1_200, seed: int = 11, engine: str = "vector"
+) -> WorkloadResult:
+    """Uniform-random streaming data packets, vector engine, 16x16 mesh.
+
+    The shape plays to what a cycle-batched fabric amortizes: every
+    packet is a full 8-flit data burst (maximum hop events per router
+    tick) on a 16x16 mesh (4x the routers of ``flit_uniform``, so each
+    stepped cycle carries 4x the work per Python-level dispatch).  The
+    event engine pays per flit-hop callback either way, which is what
+    the ``flit_uniform`` baseline comparison measures.
+    """
+    from ..noc.vecflit import make_flit_network
+
+    def run():
+        sim = Simulator()
+        net = make_flit_network(sim, NocConfig(width=16, height=16), engine)
+        rng = make_rng(seed, "perf/flit")
+        n = net.mesh.num_nodes
+        for i in range(packets):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            while dst == src:
+                dst = rng.randrange(n)
+            sim.schedule_at(i // 2, net.send, src, dst, 8)
+        sim.run(until=2_000_000)
+        return sim.events_processed, sim.cycle
+
+    return _measure("flit_vector_uniform", run)
+
+
+def flit_big_mesh(
+    packets: int = 4_800, seed: int = 11, engine: str = "vector"
+) -> WorkloadResult:
+    """Dense mixed-size traffic on a 16x16 mesh under the vector engine.
+
+    The big-mesh scaling workload (ROADMAP: push iNPG's placement study
+    past the paper's 8x8): ``flit_uniform``'s 8:1/1:1 length mix at 4x
+    the packet count and 8 injections per cycle, exercising HOL blocking
+    and VC contention at a mesh size the event engine makes painful.
+    """
+    from ..noc.vecflit import make_flit_network
+
+    def run():
+        sim = Simulator()
+        net = make_flit_network(sim, NocConfig(width=16, height=16), engine)
+        rng = make_rng(seed, "perf/flit")
+        n = net.mesh.num_nodes
+        for i in range(packets):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            while dst == src:
+                dst = rng.randrange(n)
+            length = 8 if i % 4 == 0 else 1
+            sim.schedule_at(i // 8, net.send, src, dst, length)
+        sim.run(until=2_000_000)
+        return sim.events_processed, sim.cycle
+
+    return _measure("flit_big_mesh", run)
 
 
 # ----------------------------------------------------------------------
@@ -280,6 +343,8 @@ WORKLOADS: Dict[str, Callable[[], WorkloadResult]] = {
     "kernel_chain": kernel_chain,
     "packet_uniform": packet_uniform,
     "flit_uniform": flit_uniform,
+    "flit_vector_uniform": flit_vector_uniform,
+    "flit_big_mesh": flit_big_mesh,
     "fig12_quick": fig12_quick,
     "dir_invalidation_storm": dir_invalidation_storm,
     "lock_handoff_chain": lock_handoff_chain,
@@ -291,5 +356,28 @@ QUICK_WORKLOADS = (
     "kernel_chain",
     "packet_uniform",
     "flit_uniform",
+    "flit_vector_uniform",
     "dir_invalidation_storm",
 )
+
+#: flit-level workloads and the engine they canonically measure
+FLIT_WORKLOAD_ENGINES: Dict[str, str] = {
+    "flit_uniform": "event",
+    "flit_vector_uniform": "vector",
+    "flit_big_mesh": "vector",
+}
+
+
+def with_flit_engine(engine: str) -> Dict[str, Callable[[], WorkloadResult]]:
+    """A ``WORKLOADS`` view with every flit workload forced to ``engine``.
+
+    The two engines are bit-exact, so the pinned event counts are
+    unchanged — only the rate moves.  Used by ``inpg-perf
+    --flit-engine`` for A/B runs; the committed gate numbers always use
+    each workload's canonical engine.
+    """
+    out = dict(WORKLOADS)
+    out["flit_uniform"] = lambda: flit_uniform(engine=engine)
+    out["flit_vector_uniform"] = lambda: flit_vector_uniform(engine=engine)
+    out["flit_big_mesh"] = lambda: flit_big_mesh(engine=engine)
+    return out

@@ -21,7 +21,9 @@ from repro.perf.profiling import (
 )
 from repro.perf.report import (
     BENCH_SCHEMA,
+    baseline_keys_chronological,
     check_against,
+    format_speedup_table,
     load_report,
     write_report,
 )
@@ -118,6 +120,44 @@ class TestReportSchema:
         )
         assert report["speedup"]["kernel_chain"]["pr-n"] == 5.0
 
+    def test_snapshots_get_increasing_order(self, tmp_path):
+        """Baselines record their chronology explicitly: the seed is
+        order 0 and every snapshot takes the next slot, so rendering
+        never depends on (alphabetical) JSON key order."""
+        path = tmp_path / "bench.json"
+        write_report({"kernel_chain": _result("kernel_chain")}, path)
+        write_report(
+            {"kernel_chain": _result("kernel_chain", wall_s=0.25)}, path,
+            snapshot_baseline="zz-first",
+        )
+        write_report(
+            {"kernel_chain": _result("kernel_chain", wall_s=0.1)}, path,
+            snapshot_baseline="aa-second",
+        )
+        report = load_report(path)
+        assert report["baselines"]["seed"]["order"] == 0
+        assert report["baselines"]["zz-first"]["order"] == 1
+        assert report["baselines"]["aa-second"]["order"] == 2
+        # chronological, not alphabetical
+        assert baseline_keys_chronological(report["baselines"]) == [
+            "seed", "zz-first", "aa-second",
+        ]
+
+    def test_speedup_table_labels_comparison_baseline(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report({"kernel_chain": _result("kernel_chain")}, path)
+        write_report(
+            {"kernel_chain": _result("kernel_chain", wall_s=0.25)}, path,
+            snapshot_baseline="pr-n",
+        )
+        table = format_speedup_table(load_report(path))
+        header = table.splitlines()[0]
+        # columns oldest-first, newest explicitly marked as the
+        # comparison the current PR is judged against
+        assert header.index("vs seed") < header.index("vs pr-n")
+        assert "vs pr-n (comparison)" in header
+        assert "kernel_chain" in table and "2.00x" in table
+
     def test_committed_file_is_current_schema(self):
         """The repo's own BENCH_core.json must parse as v2 and keep both
         historical baselines."""
@@ -128,8 +168,13 @@ class TestReportSchema:
         assert report is not None and report["schema"] == BENCH_SCHEMA
         assert "seed" in report["baselines"]
         assert len(report["baselines"]) >= 2
-        for name in ("dir_invalidation_storm", "lock_handoff_chain"):
+        for name in ("dir_invalidation_storm", "lock_handoff_chain",
+                     "flit_vector_uniform", "flit_big_mesh"):
             assert name in report["workloads"]
+        # chronology is explicit: every committed baseline is ordered
+        # and the seed is oldest
+        assert all("order" in b for b in report["baselines"].values())
+        assert baseline_keys_chronological(report["baselines"])[0] == "seed"
 
 
 class TestRegressionGate:
@@ -175,6 +220,10 @@ class TestLayerAttribution:
         [
             ("/x/src/repro/sim/kernel.py", "kernel"),
             ("/x/src/repro/noc/router.py", "noc"),
+            ("/x/src/repro/noc/packet.py", "noc"),
+            ("/x/src/repro/noc/flitsim.py", "noc-flit"),
+            ("/x/src/repro/noc/vecflit.py", "noc-flit"),
+            ("/x/src/repro/noc/flit_fabric.py", "noc-flit"),
             ("/x/src/repro/coherence/directory.py", "coherence"),
             ("/x/src/repro/inpg/big_router.py", "coherence"),
             ("/x/src/repro/cpu/thread.py", "cpu"),

@@ -1,0 +1,322 @@
+"""Tests for the vectorized flit engine (:mod:`repro.noc.vecflit`).
+
+The vector engine's whole claim is *bit-exactness*: it must replay the
+event-driven reference (:mod:`repro.noc.flitsim`) delivery for delivery
+under every drive — standalone ``send_at``/``run``, kernel co-simulation
+via ``schedule_at``, NumPy and pure-Python paths.  These tests pin that
+claim against the committed flit golden, property-check it on randomized
+traffic, and cover the engine's refusals (multi-cycle links, router/link
+fault sites) and the system-level selection/fallback rules.
+"""
+
+import hashlib
+
+import pytest
+
+from repro import ManyCoreSystem, SystemConfig, single_lock_workload
+from repro.config import FLIT_ENGINES, NocConfig
+from repro.errors import UnsupportedFaultSite
+from repro.faults import FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.noc.flitsim import FlitNetwork
+from repro.noc.vecflit import (
+    HAS_NUMPY,
+    VectorFlitFabric,
+    VectorFlitNetwork,
+    make_flit_network,
+)
+from repro.sim import Simulator, make_rng
+
+from test_golden_determinism import GOLDEN_FLIT
+
+
+def _golden_plan(num_nodes=64, packets=1200, seed=11):
+    """The committed flit-golden drive: (cycle, src, dst, length) rows."""
+    rng = make_rng(seed, "perf/flit")
+    plan = []
+    for i in range(packets):
+        src = rng.randrange(num_nodes)
+        dst = rng.randrange(num_nodes)
+        while dst == src:
+            dst = rng.randrange(num_nodes)
+        plan.append((i // 2, src, dst, 8 if i % 4 == 0 else 1))
+    return plan
+
+
+def _fingerprint(delivered):
+    digest = hashlib.md5()
+    for p in delivered:
+        digest.update(
+            b"%d,%d,%d,%d,%d;"
+            % (p.src, p.dst, p.length, p.injected_cycle, p.delivered_cycle)
+        )
+    return digest.hexdigest()
+
+
+def _run_cosim(engine, mesh_width, plan, force_python=False):
+    """Drive one engine through the kernel; return its observable trace."""
+    sim = Simulator()
+    cfg = NocConfig(width=mesh_width, height=mesh_width)
+    if engine == "event":
+        net = FlitNetwork(sim, cfg)
+    else:
+        net = VectorFlitNetwork(cfg, sim=sim, force_python=force_python)
+    for cycle, src, dst, length in plan:
+        sim.schedule_at(cycle, net.send, src, dst, length)
+    sim.run(until=2_000_000)
+    stream = [
+        (p.src, p.dst, p.length, p.injected_cycle, p.delivered_cycle)
+        for p in net.delivered
+    ]
+    return stream, sim.cycle, sim.events_processed
+
+
+def _random_plan(seed):
+    """Randomized bursty traffic: clustered injects, mixed lengths."""
+    rng = make_rng(seed, "test/vecflit-parity")
+    mesh = 4 if seed % 2 == 0 else 8
+    nodes = mesh * mesh
+    plan = []
+    for _ in range(rng.randrange(120, 260)):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        plan.append(
+            (rng.randrange(0, 80), src, dst, rng.randrange(1, 9))
+        )
+    return mesh, plan
+
+
+class TestVectorGolden:
+    """The vector engine reproduces the committed flit golden."""
+
+    def test_cosim_drive_matches_pinned_golden(self):
+        sim = Simulator()
+        net = VectorFlitNetwork(NocConfig(width=8, height=8), sim=sim)
+        for cycle, src, dst, length in _golden_plan():
+            sim.schedule_at(cycle, net.send, src, dst, length)
+        sim.run(until=2_000_000)
+        assert (
+            _fingerprint(net.delivered),
+            sim.events_processed,
+            len(net.delivered),
+        ) == GOLDEN_FLIT
+
+    def test_standalone_drive_matches_pinned_golden(self):
+        net = VectorFlitNetwork(NocConfig(width=8, height=8))
+        for cycle, src, dst, length in _golden_plan():
+            net.send_at(cycle, src, dst, length)
+        net.run(until=2_000_000)
+        assert (
+            _fingerprint(net.delivered),
+            net.events_processed,
+            len(net.delivered),
+        ) == GOLDEN_FLIT
+
+    def test_pure_python_path_matches_pinned_golden(self):
+        sim = Simulator()
+        net = VectorFlitNetwork(
+            NocConfig(width=8, height=8), sim=sim, force_python=True
+        )
+        for cycle, src, dst, length in _golden_plan():
+            sim.schedule_at(cycle, net.send, src, dst, length)
+        sim.run(until=2_000_000)
+        assert (
+            _fingerprint(net.delivered),
+            sim.events_processed,
+            len(net.delivered),
+        ) == GOLDEN_FLIT
+
+
+class TestEngineParity:
+    """Property test: event and vector engines are indistinguishable
+    (delivered stream, final cycle, event count) on randomized traffic."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_traffic_parity(self, seed):
+        mesh, plan = _random_plan(seed)
+        assert _run_cosim("event", mesh, plan) == \
+            _run_cosim("vector", mesh, plan)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_pure_python_parity(self, seed):
+        """The no-NumPy fallback is the same engine, not an approximation."""
+        mesh, plan = _random_plan(seed)
+        assert _run_cosim("event", mesh, plan) == \
+            _run_cosim("vector", mesh, plan, force_python=True)
+
+
+class TestImportShim:
+    def test_engine_works_without_numpy(self):
+        """Reload the module with numpy import-blocked: HAS_NUMPY drops
+        to False and the engine still runs (pure-Python fallback)."""
+        import builtins
+        import importlib
+        import sys
+
+        import repro.noc.vecflit as vecflit
+
+        real_import = builtins.__import__
+
+        def blocked(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError(f"blocked for test: {name}")
+            return real_import(name, *args, **kwargs)
+
+        saved_numpy = sys.modules.pop("numpy", None)
+        builtins.__import__ = blocked
+        try:
+            mod = importlib.reload(vecflit)
+            assert mod.HAS_NUMPY is False
+            net = mod.VectorFlitNetwork(NocConfig(width=4, height=4))
+            net.send_at(0, 0, 15, 8)
+            net.send_at(1, 5, 3, 1)
+            net.run(until=100_000)
+            assert len(net.delivered) == 2
+        finally:
+            builtins.__import__ = real_import
+            if saved_numpy is not None:
+                sys.modules["numpy"] = saved_numpy
+            importlib.reload(vecflit)
+        assert vecflit.HAS_NUMPY == (saved_numpy is not None)
+
+
+class TestEngineGuards:
+    def test_multi_cycle_links_refused(self):
+        with pytest.raises(ValueError, match="link_cycles"):
+            VectorFlitNetwork(NocConfig(width=4, height=4, link_cycles=2))
+
+    def test_factory_selects_engines(self):
+        # resolve classes through the module: the import-shim test
+        # reloads vecflit, so collection-time imports can be stale
+        import repro.noc.vecflit as vecflit
+
+        sim = Simulator()
+        cfg = NocConfig(width=4, height=4)
+        assert isinstance(
+            make_flit_network(sim, cfg, "event"), FlitNetwork
+        )
+        assert isinstance(
+            make_flit_network(Simulator(), cfg, "vector"),
+            vecflit.VectorFlitNetwork,
+        )
+        with pytest.raises(ValueError, match="unknown flit engine"):
+            make_flit_network(sim, cfg, "bogus")
+
+    def test_config_validates_engine_axis(self):
+        assert NocConfig(flit_engine="vector").flit_engine == "vector"
+        with pytest.raises(ValueError, match="flit engine"):
+            NocConfig(flit_engine="simd")
+        assert set(FLIT_ENGINES) == {"event", "vector"}
+
+    def test_default_engine_keeps_spec_fingerprints(self):
+        """Spelling out flit_engine='event' must not re-address cached
+        results; 'vector' is a different run and must."""
+        from repro.exec import RunSpec
+
+        def spec(**noc_kw):
+            return RunSpec(
+                benchmark="bwaves",
+                config=SystemConfig(noc=NocConfig(flit_level=True, **noc_kw)),
+            )
+
+        assert spec().fingerprint == spec(flit_engine="event").fingerprint
+        assert spec().fingerprint != spec(flit_engine="vector").fingerprint
+
+
+def _lock_workload():
+    return single_lock_workload(
+        8, home_node=5, cs_per_thread=2, cs_cycles=50, parallel_cycles=150
+    )
+
+
+def _flit_system_config(engine):
+    return SystemConfig(
+        noc=NocConfig(width=4, height=4, flit_level=True,
+                      flit_engine=engine),
+        num_threads=16,
+    )
+
+
+class TestVectorFullSystem:
+    def test_vector_fabric_is_selected(self):
+        import repro.noc.vecflit as vecflit
+
+        system = ManyCoreSystem(
+            _flit_system_config("vector"), _lock_workload(), primitive="mcs"
+        )
+        assert isinstance(system.network, vecflit.VectorFlitFabric)
+
+    def test_observed_runs_fall_back_to_event_engine(self):
+        """Tracing has no per-event site inside a batched cycle, so an
+        observed run silently uses the bit-exact event reference."""
+        from repro.noc.flit_fabric import FlitFabric
+        from repro.obs import Observation
+
+        system = ManyCoreSystem(
+            _flit_system_config("vector"), _lock_workload(),
+            primitive="mcs", observe=Observation(label="t"),
+        )
+        assert isinstance(system.network, FlitFabric)
+
+    def test_full_system_is_deterministic(self):
+        """Vector full-system runs are a pure function of their config:
+        two fresh builds replay each other exactly."""
+
+        def run():
+            return ManyCoreSystem(
+                _flit_system_config("vector"), _lock_workload(),
+                primitive="mcs",
+            ).run(max_cycles=20_000_000)
+
+        first, second = run(), run()
+        assert first.roi_cycles == second.roi_cycles
+        assert first.network_packets == second.network_packets
+        assert first.extra["sim_events"] == second.extra["sim_events"]
+
+    def test_full_system_agrees_with_event_engine(self):
+        """Full-system runs complete the same work on both engines.
+
+        Network-level drives are bit-exact (the golden tests above), but
+        a full system feeds deliveries back into injections *mid-cycle*:
+        the event engine interleaves those per tick while the batched
+        engine orders them per phase, so the two executions are distinct
+        valid schedules — close, not identical (see DESIGN.md §13)."""
+        event = ManyCoreSystem(
+            _flit_system_config("event"), _lock_workload(), primitive="mcs"
+        ).run(max_cycles=20_000_000)
+        vector = ManyCoreSystem(
+            _flit_system_config("vector"), _lock_workload(), primitive="mcs"
+        ).run(max_cycles=20_000_000)
+        assert vector.cs_completed == event.cs_completed == 16
+        assert abs(vector.roi_cycles - event.roi_cycles) \
+            <= 0.15 * event.roi_cycles
+        assert abs(vector.network_mean_latency - event.network_mean_latency) \
+            <= 0.25 * event.network_mean_latency
+
+
+class TestVectorFaults:
+    def test_router_sites_refused_structurally(self):
+        fabric = VectorFlitFabric(Simulator(), NocConfig(width=4, height=4))
+        plan = FaultPlan.parse("drop:1@router:3", seed=1)
+        with pytest.raises(UnsupportedFaultSite) as excinfo:
+            FaultInjector(plan).install(fabric)
+        assert excinfo.value.model == "flit/vector"
+        assert excinfo.value.site_kinds == ("router",)
+
+    def test_inject_sites_apply(self):
+        """Injection-site faults work as a filter in front of the fabric:
+        a drop-everything plan delivers nothing."""
+        sim = Simulator()
+        fabric = VectorFlitFabric(sim, NocConfig(width=4, height=4))
+        for n in range(16):
+            fabric.register_endpoint(n, lambda p: None)
+        FaultInjector(FaultPlan.parse("drop:1@inject", seed=1)).install(fabric)
+        for src in range(4):
+            fabric.send(src, 15, payload="x", size_flits=2)
+        sim.run(until=100_000)
+        assert fabric.packets_injected == 4
+        assert fabric.packets_dropped == 4
+        assert fabric.packets_delivered == 0
+        assert fabric.in_flight == 0
