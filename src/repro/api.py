@@ -23,6 +23,12 @@ Everything a consumer needs lives behind four calls::
     api.save_result(result, "run.json")
     result = api.load_result("run.json")
 
+    # the simulation service (local twin by default, remote by URL)
+    client = api.connect()                        # in-process
+    client = api.connect("http://127.0.0.1:8731") # a running inpg-serve
+    job = client.submit(specs)
+    results = client.run(specs)                   # submit + wait + fetch
+
 The deep import paths (``repro.system.ManyCoreSystem``,
 ``repro.exec.Executor``, ``repro.stats.serialize`` …) keep working and
 are not going away, but they expose assembly internals whose signatures
@@ -52,8 +58,18 @@ from .exec import Executor, RunSpec
 from .experiments.common import ExperimentOptions
 from .faults import FaultPlan, FaultSite
 from .obs import DEFAULT_CAPACITY, Observation
+from .serve.client import (
+    LocalClient,
+    RemoteExecutor,
+    ServiceClient,
+    connect,
+)
 from .stats.metrics import RunResult
-from .stats.serialize import deserialize_run_result, serialize_run_result
+from .stats.serialize import (
+    deserialize_run_result,
+    result_fingerprint,
+    serialize_run_result,
+)
 from .system import ManyCoreSystem, run_benchmark
 from .workloads.generator import (
     Workload,
@@ -69,6 +85,7 @@ __all__ = [
     "FaultPlan",
     "FaultSite",
     "LivelockDetected",
+    "LocalClient",
     "MECHANISMS",
     "ManyCoreSystem",
     "Observation",
@@ -76,17 +93,21 @@ __all__ = [
     "PROTOCOL_NAMES",
     "ProtocolSpec",
     "ProtocolViolation",
+    "RemoteExecutor",
     "ReproError",
     "RunResult",
     "RunSpec",
     "RunTimeout",
+    "ServiceClient",
     "SimulationError",
     "SystemConfig",
     "Workload",
+    "connect",
     "errors",
     "generate_workload",
     "get_protocol",
     "load_result",
+    "result_fingerprint",
     "run_benchmark",
     "run_plan",
     "save_result",

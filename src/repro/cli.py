@@ -7,6 +7,17 @@ Examples::
     inpg-sim nab --mechanism inpg+ocor --json
     inpg-sim microbench --threads 64 --home 53 --gantt
     inpg-sim kdtree --mechanism inpg --trace --trace-out t.json
+    inpg-sim kdtree --remote http://127.0.0.1:8731
+
+This module also owns the *shared* command-line vocabulary: every
+``inpg-*`` tool that executes simulations builds its parser over
+:func:`execution_parent` (``--jobs`` / ``--timeout`` / ``--cache-dir`` /
+``--no-cache`` / ``--remote``) and :func:`add_flit_engine_argument`, so
+one flag is spelled, typed and documented identically everywhere, and
+:func:`executor_from_args` turns the parsed flags into the right
+executor — in-process by default, a
+:class:`~repro.serve.client.RemoteExecutor` when ``--remote`` names a
+running ``inpg-serve``.
 """
 
 from __future__ import annotations
@@ -24,10 +35,107 @@ from .stats.export import render_gantt, run_result_to_dict
 from .workloads.profiles import ALL_PROFILES
 
 
+# ----------------------------------------------------------------------
+# Shared flag vocabulary (all inpg-* tools)
+# ----------------------------------------------------------------------
+def execution_parent(remote: bool = True) -> argparse.ArgumentParser:
+    """The argparse parent carrying the shared execution flags.
+
+    Every tool that runs simulations includes this via ``parents=`` so
+    ``--jobs`` / ``--timeout`` / ``--cache-dir`` / ``--no-cache`` (and,
+    unless ``remote=False``, ``--remote``) are spelled and documented
+    identically across ``inpg-sim``, ``inpg-experiments``,
+    ``inpg-faults`` and ``inpg-serve``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for the run plan (0 = one per CPU; "
+             "default REPRO_JOBS or 1)",
+    )
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget (timed-out runs fail and are "
+             "never cached)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default REPRO_CACHE_DIR or "
+             ".repro-cache/)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+    if remote:
+        group.add_argument(
+            "--remote", default=None, metavar="URL",
+            help="execute on a running inpg-serve at this URL instead "
+                 "of in-process (e.g. http://127.0.0.1:8731); the "
+                 "service owns the cache and worker pool, so --jobs/"
+                 "--cache-dir/--no-cache apply only to local runs",
+        )
+    return parent
+
+
+def add_flit_engine_argument(parser, extra_help: str = "") -> None:
+    """Add the shared ``--flit-engine`` flag (identical everywhere)."""
+    text = ("run the NoC at flit granularity with this engine "
+            "('event' = reference, 'vector' = cycle-batched arrays, "
+            "bit-exact)")
+    if extra_help:
+        text = f"{text}; {extra_help}"
+    parser.add_argument("--flit-engine", default=None,
+                        choices=list(FLIT_ENGINES), help=text)
+
+
+def executor_from_args(args, *, retries: int = 0, on_error: str = "raise",
+                       observe_factory=None):
+    """Build the executor the shared execution flags describe.
+
+    Returns an in-process :class:`~repro.exec.Executor` normally, or a
+    :class:`~repro.serve.client.RemoteExecutor` bound to ``--remote``.
+    Observed (traced) plans cannot cross the wire — trace rings live in
+    the executing process — so ``observe_factory`` with ``--remote`` is
+    rejected here, once, instead of in every tool.
+    """
+    remote = getattr(args, "remote", None)
+    if remote:
+        if observe_factory is not None:
+            raise SystemExit(
+                "error: --trace needs inline execution and cannot be "
+                "combined with --remote (trace data stays in the "
+                "executing process)")
+        from .serve.client import RemoteExecutor
+
+        return RemoteExecutor(remote, timeout_s=args.timeout,
+                              retries=retries, on_error=on_error)
+    return Executor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        timeout_s=args.timeout,
+        retries=retries,
+        on_error=on_error,
+        observe_factory=observe_factory,
+    )
+
+
+def footer_cache_dir(executor) -> str:
+    """The ``cache_dir`` string the execution-summary footer prints."""
+    directory = executor.cache.directory
+    return str(directory) if directory is not None else None
+
+
+# ----------------------------------------------------------------------
+# inpg-sim
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="inpg-sim",
         description="Simulate one benchmark on the iNPG platform.",
+        parents=[execution_parent()],
     )
     parser.add_argument(
         "benchmark",
@@ -42,13 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "paper's directory MOESI)")
     parser.add_argument("--primitive", default="qsl",
                         help=f"one of {PRIMITIVES} (or paper alias TTL)")
-    parser.add_argument("--flit-engine", default=None,
-                        choices=list(FLIT_ENGINES),
-                        help="run the NoC at flit granularity with this "
-                             "engine ('event' = reference, 'vector' = "
-                             "cycle-batched arrays, bit-exact); implies "
-                             "noc.flit_level, so it excludes "
-                             "--mechanism inpg")
+    add_flit_engine_argument(
+        parser, extra_help="implies noc.flit_level, so it excludes "
+                           "--mechanism inpg")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor")
     parser.add_argument("--seed", type=int, default=2018)
@@ -67,17 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="arm the liveness watchdog: raise "
                              "LivelockDetected after this many cycles "
                              "without forward progress")
-    parser.add_argument("--timeout", type=float, default=None,
-                        metavar="SECONDS",
-                        help="per-run wall-clock budget (RunTimeout past "
-                             "it; timed-out runs are never cached)")
     parser.add_argument("--check-protocol", action="store_true",
                         help="attach the online coherence protocol checker")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the persistent result cache")
-    parser.add_argument("--cache-dir", default=None,
-                        help="result cache directory (default "
-                             "REPRO_CACHE_DIR or .repro-cache/)")
     parser.add_argument("--json", action="store_true",
                         help="emit the full result as JSON")
     parser.add_argument("--gantt", action="store_true",
@@ -102,10 +197,12 @@ def main(argv=None) -> int:
         return 0
     args = parser.parse_args(argv)
     primitive = canonical_primitive(args.primitive)
-    executor = Executor(
-        jobs=1, cache_dir=args.cache_dir, use_cache=not args.no_cache,
-        timeout_s=args.timeout,
-    )
+    traced = args.trace or args.trace_out is not None
+    if traced and args.remote:
+        print("error: --trace needs inline execution and cannot be "
+              "combined with --remote", file=sys.stderr)
+        return 2
+    executor = executor_from_args(args)
     fault_plan = None
     if args.faults:
         from .faults import FaultPlan
@@ -143,7 +240,6 @@ def main(argv=None) -> int:
             config=None if args.flit_engine is None else base_config,
             **robust,
         )
-    traced = args.trace or args.trace_out is not None
     observe = None
     if traced:
         from .exec.executor import execute_spec

@@ -8,8 +8,8 @@ workload), so experiments are declarative parameter sweeps over it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -236,6 +236,50 @@ class SystemConfig:
                 ocor=replace(self.ocor, enabled=True),
             )
         raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+#: the dataclass type behind each :class:`SystemConfig` section, for
+#: rebuilding a config from its ``asdict`` encoding
+_SECTION_TYPES = {
+    "core": CoreConfig,
+    "cache": CacheConfig,
+    "memory": MemoryConfig,
+    "noc": NocConfig,
+    "inpg": InpgConfig,
+    "ocor": OcorConfig,
+    "os": OsConfig,
+    "spin": LockSpinConfig,
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict:
+    """JSON-compatible encoding of a config (inverse of
+    :func:`config_from_dict`)."""
+    return asdict(config)
+
+
+def config_from_dict(payload: Dict) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from its :func:`config_to_dict`
+    encoding.
+
+    Strict by design: an unknown section or field raises ``TypeError``
+    rather than being silently dropped — a config that crossed a process
+    or network boundary must mean exactly what it meant at the sender,
+    or fingerprints would diverge.
+    """
+    kwargs = {}
+    for name, value in payload.items():
+        section = _SECTION_TYPES.get(name)
+        if section is not None:
+            if not isinstance(value, dict):
+                raise TypeError(
+                    f"config section {name!r} must be a mapping, "
+                    f"got {type(value).__name__}"
+                )
+            kwargs[name] = section(**value)
+        else:
+            kwargs[name] = value
+    return SystemConfig(**kwargs)
 
 
 #: The four comparative cases of Section 5.1.

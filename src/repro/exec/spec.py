@@ -22,7 +22,7 @@ import json
 from dataclasses import asdict, dataclass, replace
 from typing import Dict, Optional, TYPE_CHECKING, Tuple
 
-from ..config import SystemConfig
+from ..config import SystemConfig, config_from_dict, config_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.plan import FaultPlan
@@ -131,6 +131,67 @@ class RunSpec:
             else default
             for name, default in _MICROBENCH_DEFAULTS.items()
         }
+
+    # ------------------------------------------------------------------
+    # Wire round-trip (the serve proto and anything else that ships
+    # specs across a network or process boundary)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Lossless JSON-compatible encoding of this spec *as phrased*.
+
+        Unlike :meth:`canonical_payload` (which resolves the mechanism
+        into the config and elides defaults to keep fingerprints
+        stable), this keeps every field the caller set, so
+        :meth:`from_dict` rebuilds an **equal** spec — same fields, same
+        fingerprint, same label.  Optional fields are present only when
+        set, keeping payloads small and forward-readable.
+        """
+        out: Dict = {
+            "benchmark": self.benchmark,
+            "mechanism": self.mechanism,
+            "primitive": self.primitive,
+            "scale": float(self.scale),
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+        if self.lock_homes:
+            out["lock_homes"] = list(self.lock_homes)
+        if self.config is not None:
+            out["config"] = config_to_dict(self.config)
+        for name in ("cs_per_thread", "cs_cycles", "parallel_cycles",
+                     "watchdog_cycles", "protocol"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.check_protocol:
+            out["check_protocol"] = True
+        if self.fault_plan is not None and self.fault_plan.enabled:
+            out["fault_plan"] = self.fault_plan.canonical_payload()
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunSpec":
+        """Inverse of :meth:`to_dict` (bit-identical fingerprint)."""
+        data = dict(payload)
+        if "config" in data:
+            data["config"] = config_from_dict(data["config"])
+        if "lock_homes" in data:
+            data["lock_homes"] = tuple(data["lock_homes"])
+        if "fault_plan" in data:
+            from ..faults.plan import FAULT_SCHEMA_VERSION, FaultPlan, FaultSite
+
+            plan = data["fault_plan"]
+            schema = plan.get("schema")
+            if schema != FAULT_SCHEMA_VERSION:
+                raise ValueError(
+                    f"fault plan payload has schema {schema!r}, "
+                    f"expected {FAULT_SCHEMA_VERSION}"
+                )
+            data["fault_plan"] = FaultPlan(
+                sites=tuple(FaultSite(**site) for site in plan["sites"]),
+                seed=plan["seed"],
+            )
+        return cls(**data)
 
     # ------------------------------------------------------------------
     # Fingerprinting

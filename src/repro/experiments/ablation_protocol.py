@@ -138,7 +138,7 @@ def run(options: "ExperimentOptions" = None, *, scale: float = None,
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    print(run(quick=False).render())
+    print(run(ExperimentOptions(quick=False)).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

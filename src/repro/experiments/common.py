@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 import os
-import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -63,8 +62,9 @@ class ExperimentOptions:
     Historically each ``run()`` grew its own ``quick=``/``scale=``
     defaults; the unified signature is ``run(options=None, *, ...)``
     with per-figure extras staying keyword-only.  The legacy ``quick=``
-    and ``scale=`` keywords remain accepted everywhere (see
-    :func:`resolve_options`) but are deprecated.
+    and ``scale=`` keywords completed their deprecation cycle and now
+    raise a :class:`TypeError` with migration instructions (see
+    :func:`resolve_options`).
 
     The robustness knobs ride here too, so fault campaigns and resilient
     sweeps configure ``simulate()`` / ``run_plan()`` / every ``fig*``
@@ -135,25 +135,27 @@ def resolve_options(
     quick: Optional[bool] = None,
     scale: Optional[float] = None,
 ) -> ExperimentOptions:
-    """Merge an options value with the legacy ``quick=``/``scale=`` kwargs.
+    """Resolve the harness options, rejecting the removed legacy kwargs.
 
-    Explicit legacy keywords win over the corresponding ``options``
-    field, matching what the old per-figure signatures did.  The legacy
-    keywords are deprecated (warn, don't break): pass an
-    :class:`ExperimentOptions` instead.
+    The ``quick=``/``scale=`` keywords went through a deprecation cycle
+    (accepted with a ``DeprecationWarning`` through the previous
+    releases); they now fail loudly with migration instructions.  The
+    parameters stay in every ``run()`` signature so old call sites get
+    this message instead of an opaque unexpected-keyword ``TypeError``.
     """
     opts = options if options is not None else ExperimentOptions()
     if quick is not None or scale is not None:
-        warnings.warn(
-            "the quick=/scale= keywords are deprecated; pass "
-            "options=ExperimentOptions(quick=..., scale=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
+        passed = ", ".join(
+            f"{name}={value!r}"
+            for name, value in (("quick", quick), ("scale", scale))
+            if value is not None
         )
-    if quick is not None:
-        opts = replace(opts, quick=quick)
-    if scale is not None:
-        opts = replace(opts, scale=scale)
+        raise TypeError(
+            f"the quick=/scale= keywords were removed after their "
+            f"deprecation cycle; replace run({passed}) with "
+            f"run(ExperimentOptions({passed})) "
+            f"(from repro.experiments.common import ExperimentOptions)"
+        )
     return opts
 
 

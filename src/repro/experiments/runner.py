@@ -23,8 +23,8 @@ import argparse
 import sys
 import time
 
+from ..cli import execution_parent, executor_from_args, footer_cache_dir
 from ..config import PROTOCOL_NAMES
-from ..exec import Executor
 from . import (
     ablation_lco,
     ablation_protocol,
@@ -69,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="inpg-experiments",
         description="Regenerate the iNPG paper's tables and figures.",
+        parents=[execution_parent()],
     )
     parser.add_argument(
         "experiment",
@@ -98,25 +99,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-protocol", action="store_true",
         help="attach the online coherence protocol checker to every run "
              "(checked runs cache separately from unchecked ones)",
-    )
-    parser.add_argument(
-        "--jobs", "-j", type=int, default=None,
-        help="worker processes for the run plan (0 = one per CPU; "
-             "default REPRO_JOBS or 1)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the persistent result cache",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None,
-        help="result cache directory (default REPRO_CACHE_DIR or "
-             ".repro-cache/)",
-    )
-    parser.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-run wall-clock budget (timed-out runs fail and are "
-             "never cached)",
     )
     parser.add_argument(
         "--retries", type=int, default=0,
@@ -156,14 +138,11 @@ def main(argv=None) -> int:
 
         observe_factory = lambda spec: Observation(label=spec.label())  # noqa: E731
     executor = common.set_executor(
-        Executor(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            observe_factory=observe_factory,
-            timeout_s=args.timeout,
+        executor_from_args(
+            args,
             retries=args.retries,
             on_error=args.on_error,
+            observe_factory=observe_factory,
         )
     )
     options = common.ExperimentOptions(
@@ -185,13 +164,8 @@ def main(argv=None) -> int:
         runs = [obs.chrome_run() for obs in executor.observations.values()]
         write_chrome_trace(out, runs)
         print(f"trace: {len(runs)} observed runs -> {out}\n")
-    cache_dir = (
-        str(executor.cache.directory)
-        if executor.cache.directory is not None
-        else None
-    )
     print(executor.stats.render_footer(jobs=executor.jobs,
-                                       cache_dir=cache_dir))
+                                       cache_dir=footer_cache_dir(executor)))
     return 0
 
 

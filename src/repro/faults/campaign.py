@@ -37,6 +37,7 @@ import sys
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from ..cli import execution_parent, footer_cache_dir
 from ..config import LockSpinConfig, SystemConfig
 from ..exec import Executor, RunSpec
 from ..locks.factory import PRIMITIVES, canonical_primitive
@@ -117,6 +118,7 @@ def run_campaign(
     jobs: Optional[int] = None,
     use_cache: bool = True,
     cache_dir=None,
+    remote: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one campaign; returns the JSON-safe report payload.
 
@@ -147,9 +149,15 @@ def run_campaign(
         for plan in plans
     ]
 
-    executor = Executor(jobs=jobs, use_cache=use_cache,
-                        cache_dir=cache_dir, timeout_s=timeout_s,
-                        on_error="skip")
+    if remote:
+        from ..serve.client import RemoteExecutor
+
+        executor = RemoteExecutor(remote, timeout_s=timeout_s,
+                                  on_error="skip")
+    else:
+        executor = Executor(jobs=jobs, use_cache=use_cache,
+                            cache_dir=cache_dir, timeout_s=timeout_s,
+                            on_error="skip")
     baseline = executor.run_one(base_spec)
     if baseline is None:
         # even the fault-free baseline failed: report and bail
@@ -183,8 +191,7 @@ def run_campaign(
         "outcomes": outcomes,
         "footer": executor.stats.render_footer(
             jobs=executor.jobs,
-            cache_dir=(str(executor.cache.directory)
-                       if executor.cache.directory is not None else None),
+            cache_dir=footer_cache_dir(executor),
         ),
     }
 
@@ -225,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="inpg-faults",
         description="Sweep deterministic NoC fault plans against a "
                     "baseline run and report detected vs silent outcomes.",
+        parents=[execution_parent()],
     )
     parser.add_argument("benchmark", nargs="?", default="microbench",
                         help="benchmark name or 'microbench' (default)")
@@ -246,9 +254,6 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="CYCLES",
                         help="liveness-watchdog no-progress window "
                              "(default 50000)")
-    parser.add_argument("--timeout", type=float, default=None,
-                        metavar="SECONDS",
-                        help="per-run wall-clock budget")
     parser.add_argument("--max-cycles", type=int, default=5_000_000,
                         help="per-run cycle budget (default 5M; smaller "
                              "than simulate()'s so stuck runs fail fast)")
@@ -256,9 +261,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lock spin mode; 'ttas' (default) polls the "
                              "local copy, which turns lost invalidations "
                              "into watchdog-detectable livelock")
-    parser.add_argument("--jobs", "-j", type=int, default=None)
-    parser.add_argument("--no-cache", action="store_true")
-    parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the full report as JSON")
     return parser
@@ -287,6 +289,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        remote=args.remote,
     )
     print(render_report(report))
     print()

@@ -69,6 +69,15 @@ class Registry:
         self._entries[path] = counter
         return counter
 
+    def inc(self, path: str, amount: int = 1) -> None:
+        """Bump the registry-owned counter at ``path`` (creating it).
+
+        Convenience for long-lived host-side registries (the serve
+        layer's service stats) where call sites don't hold the
+        :class:`Counter` object.
+        """
+        self.counter(path).add(amount)
+
     def gauge(self, path: str, fn: GaugeFn) -> None:
         """Register a read-through gauge over an existing attribute."""
         if path in self._entries:

@@ -51,8 +51,8 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
+from ..cli import add_flit_engine_argument
 from .workloads import (
-    FLIT_ENGINES,
     QUICK_WORKLOADS,
     WORKLOADS,
     WorkloadResult,
@@ -341,12 +341,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="do not rewrite the report; fail if events/sec regressed "
         f">{100 * REGRESSION_TOLERANCE:.0f}%% vs the committed numbers",
     )
-    parser.add_argument(
-        "--flit-engine", default=None, choices=list(FLIT_ENGINES),
-        help="force every flit-level workload onto this engine (A/B "
-        "runs; the engines are bit-exact, so pinned event counts are "
-        "unchanged).  Refuses to rewrite the report: the committed "
-        "numbers always use each workload's canonical engine",
+    add_flit_engine_argument(
+        parser,
+        extra_help="forces every flit-level workload onto this engine "
+        "(A/B --check runs only: the committed report numbers always "
+        "use each workload's canonical engine)",
     )
     parser.add_argument(
         "--snapshot-baseline", default=None, metavar="KEY",

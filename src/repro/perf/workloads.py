@@ -214,7 +214,7 @@ def fig12_quick() -> WorkloadResult:
         previous = common.get_executor()
         executor = common.set_executor(Executor(jobs=1, cache=NullCache()))
         try:
-            fig12_roi.run(scale=0.5, quick=True)
+            fig12_roi.run(common.ExperimentOptions(scale=0.5, quick=True))
             return executor.stats.sim_events, executor.stats.sim_cycles
         finally:
             common.set_executor(previous)

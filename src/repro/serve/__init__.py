@@ -1,0 +1,40 @@
+"""``repro.serve``: the simulation service and its versioned client API.
+
+The package splits along the wire:
+
+* :mod:`repro.serve.proto` — the schema both sides share (versioned
+  envelopes; ``PROTO_SCHEMA_VERSION``);
+* :mod:`repro.serve.store` — fingerprint-keyed result + failure store
+  over the executor's cache directory;
+* :mod:`repro.serve.server` — the ``inpg-serve`` asyncio service
+  (job queue, dedupe, worker fan-out, SSE progress);
+* :mod:`repro.serve.client` — ``ServiceClient`` (HTTP),
+  ``RemoteExecutor`` (the ``--remote`` drop-in for the harnesses) and
+  :func:`connect` (local-or-remote entry point, re-exported from
+  :mod:`repro.api`).
+"""
+
+from .client import (
+    LocalClient,
+    RemoteExecutor,
+    ServiceClient,
+    ServiceError,
+    connect,
+)
+from .proto import PROTO_SCHEMA_VERSION, ProtoError
+from .server import ServiceHandle, SimulationService, start_in_thread
+from .store import ResultStore
+
+__all__ = [
+    "LocalClient",
+    "PROTO_SCHEMA_VERSION",
+    "ProtoError",
+    "RemoteExecutor",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "SimulationService",
+    "connect",
+    "start_in_thread",
+]

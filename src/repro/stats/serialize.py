@@ -15,6 +15,8 @@ version as absent rather than attempting to read them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import Counter
 from typing import Dict, List
 
@@ -143,6 +145,19 @@ def serialize_run_result(result: RunResult) -> Dict:
     }
 
 
+def result_fingerprint(result: RunResult) -> str:
+    """SHA-256 content address of a result's full serialized form.
+
+    Two runs are bit-identical exactly when their fingerprints match —
+    the acceptance check for local-vs-remote execution parity (the serve
+    layer) and for cross-process determinism in general.
+    """
+    blob = json.dumps(
+        serialize_run_result(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def deserialize_run_result(payload: Dict) -> RunResult:
     schema = payload.get("schema")
     if schema != RESULT_SCHEMA_VERSION:
@@ -164,4 +179,46 @@ def deserialize_run_result(payload: Dict) -> RunResult:
         os_wakeups=payload["os_wakeups"],
         extra=dict(payload["extra"]),
         obs=payload.get("obs"),
+    )
+
+
+# ----------------------------------------------------------------------
+# FailureRecord (executor skip-mode provenance)
+# ----------------------------------------------------------------------
+def failure_record_to_dict(record) -> Dict:
+    """Encode an :class:`~repro.exec.executor.FailureRecord`.
+
+    Failed/skipped runs used to be reachable only in-process (the
+    executor footer); this encoding lets them cross the serve boundary
+    and sit in the result store next to successful runs, so a campaign
+    client can ask *why* a fingerprint has no result.
+    """
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "fingerprint": record.fingerprint,
+        "label": record.label,
+        "error_type": record.error_type,
+        "message": record.message,
+        "attempts": record.attempts,
+        "wall_time": record.wall_time,
+    }
+
+
+def failure_record_from_dict(payload: Dict):
+    """Inverse of :func:`failure_record_to_dict`."""
+    from ..exec.executor import FailureRecord  # late: avoids import cycle
+
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"failure payload has schema {schema!r}, "
+            f"expected {RESULT_SCHEMA_VERSION}"
+        )
+    return FailureRecord(
+        fingerprint=payload["fingerprint"],
+        label=payload["label"],
+        error_type=payload["error_type"],
+        message=payload["message"],
+        attempts=payload["attempts"],
+        wall_time=payload["wall_time"],
     )

@@ -53,3 +53,66 @@ class TestMain:
         assert rc == 0
         out = capsys.readouterr().out
         assert "freqmine" in out and "kdtree" in out
+
+
+class TestSharedFlagVocabulary:
+    """Every inpg-* tool spells the shared execution flags identically."""
+
+    PARSERS = {}
+
+    @classmethod
+    def _parsers(cls):
+        if not cls.PARSERS:
+            from repro.experiments.runner import build_parser as experiments
+            from repro.faults.campaign import build_parser as faults
+            from repro.serve.server import build_parser as serve
+
+            cls.PARSERS = {
+                "inpg-sim": build_parser(),
+                "inpg-experiments": experiments(),
+                "inpg-faults": faults(),
+                "inpg-serve": serve(),
+            }
+        return cls.PARSERS
+
+    @staticmethod
+    def _flag_help(parser, flag):
+        for action in parser._actions:
+            if flag in action.option_strings:
+                return action.help
+        return None
+
+    def test_shared_flags_identical_everywhere(self):
+        parsers = self._parsers()
+        for flag in ("--jobs", "--timeout", "--cache-dir", "--no-cache"):
+            helps = {name: self._flag_help(parser, flag)
+                     for name, parser in parsers.items()}
+            assert all(text is not None for text in helps.values()), \
+                f"{flag} missing from {sorted(k for k, v in helps.items() if v is None)}"
+            assert len(set(helps.values())) == 1, \
+                f"{flag} documented differently: {helps}"
+
+    def test_remote_flag_on_clients_not_service(self):
+        parsers = self._parsers()
+        for name in ("inpg-sim", "inpg-experiments", "inpg-faults"):
+            assert self._flag_help(parsers[name], "--remote") is not None
+        # the service IS the remote end; it must not take --remote
+        assert self._flag_help(parsers["inpg-serve"], "--remote") is None
+
+    def test_jobs_short_spelling_shared(self):
+        for name, parser in self._parsers().items():
+            if name == "inpg-serve":
+                continue
+            for action in parser._actions:
+                if "--jobs" in action.option_strings:
+                    assert "-j" in action.option_strings, name
+
+    def test_flit_engine_spelled_identically(self):
+        from repro.perf.report import main as perf_main  # parser inline
+        base = self._flag_help(self._parsers()["inpg-sim"], "--flit-engine")
+        assert base is not None and base.startswith(
+            "run the NoC at flit granularity")
+
+    def test_trace_with_remote_rejected(self):
+        rc = main(["vips", "--trace", "--remote", "http://127.0.0.1:1"])
+        assert rc == 2

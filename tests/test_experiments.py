@@ -15,6 +15,7 @@ from repro.experiments import (
     table1_config,
 )
 from repro.experiments.common import (
+    ExperimentOptions,
     arithmetic_mean,
     benchmarks_for,
     by_group,
@@ -64,14 +65,15 @@ class TestSimulationExperiments:
     """Tiny-scale runs to keep the suite quick."""
 
     def test_fig2_lco_ordering(self):
-        result = fig02_lco.run(scale=0.4, benchmarks=("kdtree",))
+        result = fig02_lco.run(ExperimentOptions(scale=0.4),
+                               benchmarks=("kdtree",))
         per = result.lco["kdtree"]
         assert set(per) == {"tas", "ticket", "abql", "mcs", "qsl"}
         assert per["tas"] > 0
         assert "LCO" in result.render()
 
     def test_fig9_profile_structure(self):
-        result = fig09_timing_profile.run(scale=0.4)
+        result = fig09_timing_profile.run(ExperimentOptions(scale=0.4))
         rows = result.by_mechanism()
         assert set(rows) == {"original", "ocor", "inpg", "inpg+ocor"}
         for row in rows.values():
@@ -88,21 +90,23 @@ class TestSimulationExperiments:
 
     def test_fig11_and_fig12_share_runs(self):
         clear_cache()
-        f11 = fig11_cs_expedition.run(scale=0.4, quick=True)
-        f12 = fig12_roi.run(scale=0.4, quick=True)
+        small = ExperimentOptions(scale=0.4, quick=True)
+        f11 = fig11_cs_expedition.run(small)
+        f12 = fig12_roi.run(small)
         assert set(f11.expedition) == set(f12.relative_roi)
         for bench in f12.relative_roi:
             assert f12.relative_roi[bench]["original"] == 1.0
             assert f11.expedition[bench]["original"] == 1.0
 
     def test_fig13_covers_all_primitives(self):
-        result = fig13_primitives.run(scale=0.3, quick=True)
+        result = fig13_primitives.run(
+            ExperimentOptions(scale=0.3, quick=True))
         first = next(iter(result.reduction.values()))
         assert set(first) == {"tas", "ticket", "abql", "mcs", "qsl"}
 
     def test_fig14_includes_zero_deployment(self):
         result = fig14_deployment.run(
-            scale=0.3, quick=True, deployments=(0, 32)
+            ExperimentOptions(scale=0.3, quick=True), deployments=(0, 32)
         )
         for bench, per in result.expedition.items():
             assert per[0] == 1.0
@@ -110,7 +114,8 @@ class TestSimulationExperiments:
     def test_fig15_small_meshes(self):
         from repro.experiments import fig15_sensitivity
         result = fig15_sensitivity.run(
-            scale=0.3, quick=True, dims=(2, 4), table_sizes=(16,)
+            ExperimentOptions(scale=0.3, quick=True),
+            dims=(2, 4), table_sizes=(16,)
         )
         assert (2, 16) in result.reduction
         assert (4, 16) in result.reduction

@@ -384,12 +384,11 @@ class TestOptionsPath:
         finally:
             common.set_executor(previous)
 
-    def test_legacy_kwargs_warn_but_work(self):
+    def test_legacy_kwargs_raise_with_migration_message(self):
         from repro.experiments.common import resolve_options
 
-        with pytest.warns(DeprecationWarning, match="quick=/scale="):
-            opts = resolve_options(quick=False, scale=0.7)
-        assert opts.quick is False and opts.scale == 0.7
+        with pytest.raises(TypeError, match="ExperimentOptions"):
+            resolve_options(quick=False, scale=0.7)
 
 
 # ----------------------------------------------------------------------
