@@ -9,8 +9,6 @@ analysis behind the paper's choice of 32 interleaved big routers.
 Run:  python examples/inpg_deployment_study.py
 """
 
-from dataclasses import replace
-
 from repro.api import Executor, RunSpec, SystemConfig
 from repro.config import InpgConfig
 from repro.synthesis import chip_summary
@@ -32,10 +30,11 @@ def main() -> None:
     executor = Executor()
     plan = {0: spec(base.with_mechanism("original"))}
     for count in (4, 16, 32, 64):
+        # with_overrides deep-replaces into the (frozen) inpg section —
+        # the supported way to derive configs, no nested replace() calls
         plan[count] = spec(
-            replace(
-                base,
-                inpg=replace(base.inpg, enabled=True, num_big_routers=count),
+            base.with_overrides(
+                inpg={"enabled": True, "num_big_routers": count}
             )
         )
     results = executor.run(list(plan.values()))

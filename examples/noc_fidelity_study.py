@@ -54,8 +54,8 @@ def full_system() -> None:
         flit_level: RunSpec.microbench(
             home_node=5, cs_per_thread=2, cs_cycles=60, parallel_cycles=200,
             mechanism="original", primitive="mcs",
-            config=SystemConfig(
-                noc=NocConfig(width=4, height=4, flit_level=flit_level),
+            config=SystemConfig().with_overrides(
+                noc={"width": 4, "height": 4, "flit_level": flit_level},
                 num_threads=16,
             ),
         )

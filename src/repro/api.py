@@ -43,8 +43,21 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from . import errors
-from .coherence.protocol import PROTOCOLS, ProtocolSpec, get_protocol
-from .config import MECHANISMS, PROTOCOL_NAMES, SystemConfig
+from .coherence.protocol import (
+    PROTOCOLS as PROTOCOL_SPECS,
+    ProtocolSpec,
+    get_protocol,
+)
+from .config import (
+    ARBITERS,
+    FLIT_ENGINES,
+    MECHANISMS,
+    PLACEMENTS,
+    PROTOCOL_NAMES,
+    TOPOLOGIES,
+    SystemConfig,
+    describe_axes,
+)
 from .errors import (
     DeadlockError,
     ExecutorError,
@@ -77,11 +90,21 @@ from .workloads.generator import (
     single_lock_workload,
 )
 
+#: the four simulation axes, one name-tuple each (default first) —
+#: ``PROTOCOLS`` / ``FLIT_ENGINES`` / ``TOPOLOGIES`` / ``ARBITERS`` all
+#: follow one convention, described by :func:`describe_axes`.
+#: (``PROTOCOLS`` used to re-export the ``name -> ProtocolSpec`` table;
+#: that table is :data:`PROTOCOL_SPECS` now, and ``PROTOCOL_NAMES``
+#: remains an alias of the tuple.)
+PROTOCOLS = PROTOCOL_NAMES
+
 __all__ = [
+    "ARBITERS",
     "DeadlockError",
     "ExecutorError",
     "Executor",
     "ExperimentOptions",
+    "FLIT_ENGINES",
     "FaultPlan",
     "FaultSite",
     "LivelockDetected",
@@ -89,8 +112,10 @@ __all__ = [
     "MECHANISMS",
     "ManyCoreSystem",
     "Observation",
+    "PLACEMENTS",
     "PROTOCOLS",
     "PROTOCOL_NAMES",
+    "PROTOCOL_SPECS",
     "ProtocolSpec",
     "ProtocolViolation",
     "RemoteExecutor",
@@ -101,8 +126,10 @@ __all__ = [
     "ServiceClient",
     "SimulationError",
     "SystemConfig",
+    "TOPOLOGIES",
     "Workload",
     "connect",
+    "describe_axes",
     "errors",
     "generate_workload",
     "get_protocol",

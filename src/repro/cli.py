@@ -28,7 +28,14 @@ import sys
 
 from dataclasses import replace
 
-from .config import FLIT_ENGINES, MECHANISMS, PROTOCOL_NAMES, SystemConfig
+from .config import (
+    ARBITERS,
+    FLIT_ENGINES,
+    MECHANISMS,
+    PROTOCOL_NAMES,
+    TOPOLOGIES,
+    SystemConfig,
+)
 from .exec import Executor, RunSpec
 from .locks.factory import PRIMITIVES, canonical_primitive
 from .stats.export import render_gantt, run_result_to_dict
@@ -90,6 +97,39 @@ def add_flit_engine_argument(parser, extra_help: str = "") -> None:
                         choices=list(FLIT_ENGINES), help=text)
 
 
+def axes_parent() -> argparse.ArgumentParser:
+    """The argparse parent carrying the shared simulation-axis flags.
+
+    One flag per axis of ``repro.api.describe_axes()`` —
+    ``--protocol`` / ``--flit-engine`` / ``--topology`` / ``--arbiter``
+    — spelled, typed and documented identically on ``inpg-sim`` and
+    ``inpg-experiments`` (specs built from them travel unchanged through
+    the ``inpg-serve`` proto).  Every flag defaults to ``None``, meaning
+    "keep the config's value" (the paper's MOESI / packet-level / mesh /
+    round-robin defaults).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("simulation axes")
+    group.add_argument(
+        "--protocol", default=None, choices=list(PROTOCOL_NAMES),
+        help="coherence protocol variant (default: the paper's "
+             "directory MOESI)",
+    )
+    add_flit_engine_argument(group)
+    group.add_argument(
+        "--topology", default=None, choices=list(TOPOLOGIES),
+        help="NoC fabric topology (default: the paper's 8x8 mesh; "
+             "torus/ring need the packet-level model)",
+    )
+    group.add_argument(
+        "--arbiter", default=None, choices=list(ARBITERS),
+        help="output-port arbitration across VC classes (default: "
+             "round-robin; 'wrr' = weighted round-robin with "
+             "noc.wrr_weights credits)",
+    )
+    return parent
+
+
 def executor_from_args(args, *, retries: int = 0, on_error: str = "raise",
                        observe_factory=None):
     """Build the executor the shared execution flags describe.
@@ -135,7 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="inpg-sim",
         description="Simulate one benchmark on the iNPG platform.",
-        parents=[execution_parent()],
+        parents=[execution_parent(), axes_parent()],
     )
     parser.add_argument(
         "benchmark",
@@ -144,15 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--mechanism", default="original",
                         choices=list(MECHANISMS))
-    parser.add_argument("--protocol", default="moesi",
-                        choices=list(PROTOCOL_NAMES),
-                        help="coherence protocol variant (default: the "
-                             "paper's directory MOESI)")
     parser.add_argument("--primitive", default="qsl",
                         help=f"one of {PRIMITIVES} (or paper alias TTL)")
-    add_flit_engine_argument(
-        parser, extra_help="implies noc.flit_level, so it excludes "
-                           "--mechanism inpg")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor")
     parser.add_argument("--seed", type=int, default=2018)
@@ -212,7 +245,9 @@ def main(argv=None) -> int:
         fault_plan=fault_plan,
         watchdog_cycles=args.watchdog,
         check_protocol=args.check_protocol,
-        protocol=None if args.protocol == "moesi" else args.protocol,
+        protocol=args.protocol,
+        topology=args.topology,
+        arbiter=args.arbiter,
     )
     base_config = SystemConfig()
     if args.flit_engine is not None:

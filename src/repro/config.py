@@ -8,7 +8,7 @@ workload), so experiments are declarative parameter sweeps over it.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Tuple
 
 
@@ -84,6 +84,20 @@ class NocConfig:
     #: ``vector`` the cycle-batched array fabric (``repro.noc.vecflit``,
     #: bit-exact against the event engine; requires single-cycle links).
     flit_engine: str = "event"
+    #: fabric topology (``repro.noc.topology``): the paper's ``mesh`` by
+    #: default; ``torus`` (wraparound XY, dateline VCs) and ``ring``
+    #: (bidirectional, shortest direction) for the placement sweeps.
+    #: The flit-level fabrics are mesh-only and refuse other values with
+    #: a structured :class:`repro.errors.UnsupportedTopology`.
+    topology: str = "mesh"
+    #: output-port arbitration across virtual-network classes: ``rr``
+    #: (strict VC priority + oldest-first, the paper's baseline) or
+    #: ``wrr`` (credit-based weighted round-robin over VC classes,
+    #: ``repro.noc.arbiter``).
+    arbiter: str = "rr"
+    #: WRR weights per VC class, by index (class ``i`` gets
+    #: ``weights[i % len(weights)]``); inert unless ``arbiter == "wrr"``.
+    wrr_weights: Tuple[int, ...] = (2, 1)
 
     def __post_init__(self) -> None:
         if self.flit_engine not in FLIT_ENGINES:
@@ -91,6 +105,24 @@ class NocConfig:
                 f"unknown flit engine {self.flit_engine!r}; "
                 f"choose from {FLIT_ENGINES}"
             )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {TOPOLOGIES}"
+            )
+        if self.arbiter not in ARBITERS:
+            raise ValueError(
+                f"unknown arbiter {self.arbiter!r}; choose from {ARBITERS}"
+            )
+        # JSON round-trips turn tuples into lists; normalize so configs
+        # stay hashable (frozen RunSpecs embed them) and compare equal.
+        weights = tuple(int(w) for w in self.wrr_weights)
+        if not weights or any(w < 1 for w in weights):
+            raise ValueError(
+                f"wrr_weights must be positive integers, got "
+                f"{self.wrr_weights!r}"
+            )
+        object.__setattr__(self, "wrr_weights", weights)
     #: one cache block = one 8-flit packet; control messages are 1 flit.
     data_packet_flits: int = 8
     ctrl_packet_flits: int = 1
@@ -127,6 +159,18 @@ class InpgConfig:
     ei_entries: int = 16
     #: time-to-live for an idle lock barrier, cycles (Section 4.1).
     barrier_ttl: int = 128
+    #: big-router placement strategy (``repro.inpg.deployment``):
+    #: ``spread`` is the paper's interleaved/evenly-strided deployment
+    #: (Figure 3); ``center`` and ``perimeter`` rank nodes by total hop
+    #: distance for the placement-sensitivity sweeps.
+    placement: str = "spread"
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown big-router placement {self.placement!r}; "
+                f"choose from {PLACEMENTS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -204,6 +248,55 @@ class SystemConfig:
                 f"choose from {PROTOCOL_NAMES}"
             )
 
+    def with_overrides(self, **overrides) -> "SystemConfig":
+        """Return a copy with fields deep-replaced into nested sections.
+
+        Section keyword arguments take a mapping of field overrides (or a
+        ready section instance); top-level fields take plain values::
+
+            cfg.with_overrides(noc={"topology": "torus"}, num_threads=32)
+            cfg.with_overrides(inpg={"enabled": True, "placement": "center"})
+
+        Strict like :func:`config_from_dict`: an unknown section field or
+        top-level field raises ``TypeError`` instead of being dropped.
+        This is the supported way to derive configs — it keeps every
+        section a frozen value object (no mutation patterns) and runs all
+        ``__post_init__`` validation on the rebuilt sections.
+        """
+        updates = {}
+        for name, value in overrides.items():
+            section = _SECTION_TYPES.get(name)
+            if section is not None:
+                if isinstance(value, section):
+                    updates[name] = value
+                    continue
+                if not isinstance(value, dict):
+                    raise TypeError(
+                        f"section {name!r} takes a mapping of field "
+                        f"overrides or a {section.__name__}, got "
+                        f"{type(value).__name__}"
+                    )
+                current = getattr(self, name)
+                known = {f.name for f in fields(current)}
+                unknown = sorted(set(value) - known)
+                if unknown:
+                    raise TypeError(
+                        f"unknown field(s) {unknown} for config section "
+                        f"{name!r}"
+                    )
+                updates[name] = replace(current, **value)
+            else:
+                if name not in {
+                    f.name for f in fields(self)
+                }:
+                    raise TypeError(
+                        f"unknown SystemConfig field {name!r}"
+                    )
+                updates[name] = value
+        if not updates:
+            return self
+        return replace(self, **updates)
+
     def with_mechanism(self, mechanism: str) -> "SystemConfig":
         """Return a copy configured as one of the paper's four cases.
 
@@ -211,31 +304,20 @@ class SystemConfig:
         ``inpg+ocor`` (case-insensitive).
         """
         key = mechanism.lower().replace(" ", "")
-        if key == "original":
-            return replace(
-                self,
-                inpg=replace(self.inpg, enabled=False),
-                ocor=replace(self.ocor, enabled=False),
-            )
-        if key == "ocor":
-            return replace(
-                self,
-                inpg=replace(self.inpg, enabled=False),
-                ocor=replace(self.ocor, enabled=True),
-            )
-        if key == "inpg":
-            return replace(
-                self,
-                inpg=replace(self.inpg, enabled=True),
-                ocor=replace(self.ocor, enabled=False),
-            )
-        if key in ("inpg+ocor", "ocor+inpg", "both"):
-            return replace(
-                self,
-                inpg=replace(self.inpg, enabled=True),
-                ocor=replace(self.ocor, enabled=True),
-            )
-        raise ValueError(f"unknown mechanism {mechanism!r}")
+        flags = {
+            "original": (False, False),
+            "ocor": (False, True),
+            "inpg": (True, False),
+            "inpg+ocor": (True, True),
+            "ocor+inpg": (True, True),
+            "both": (True, True),
+        }.get(key)
+        if flags is None:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+        inpg_on, ocor_on = flags
+        return self.with_overrides(
+            inpg={"enabled": inpg_on}, ocor={"enabled": ocor_on}
+        )
 
 
 #: the dataclass type behind each :class:`SystemConfig` section, for
@@ -292,3 +374,40 @@ PROTOCOL_NAMES = ("moesi", "msi", "mesi")
 #: Flit-level fabric engines (default first): the event-driven reference
 #: router and the vectorized cycle-batched fabric behind the same API.
 FLIT_ENGINES = ("event", "vector")
+
+#: NoC topologies (default first); classes in ``repro.noc.topology``.
+TOPOLOGIES = ("mesh", "torus", "ring")
+
+#: Output-port arbitration policies (default first): strict VC priority
+#: round-robin, and weighted round-robin (``repro.noc.arbiter``).
+ARBITERS = ("rr", "wrr")
+
+#: Big-router placement strategies (default first);
+#: ``repro.inpg.deployment`` implements them.
+PLACEMENTS = ("spread", "center", "perimeter")
+
+
+def describe_axes() -> Dict[str, Dict[str, object]]:
+    """One record per simulation axis, in a single convention.
+
+    Each record names the valid ``choices`` (default first), the
+    ``default``, the dotted config field that carries the axis, and the
+    shared CLI flag (identical spelling on ``inpg-sim`` and
+    ``inpg-experiments``; specs travel through the serve proto with the
+    same values).  Re-exported by :mod:`repro.api`.
+    """
+    axes = {
+        "protocol": ("protocol", "--protocol", PROTOCOL_NAMES),
+        "flit_engine": ("noc.flit_engine", "--flit-engine", FLIT_ENGINES),
+        "topology": ("noc.topology", "--topology", TOPOLOGIES),
+        "arbiter": ("noc.arbiter", "--arbiter", ARBITERS),
+    }
+    return {
+        name: {
+            "choices": choices,
+            "default": choices[0],
+            "config_field": config_field,
+            "flag": flag,
+        }
+        for name, (config_field, flag, choices) in axes.items()
+    }

@@ -39,6 +39,7 @@ __all__ = [
     "RunTimeout",
     "SimulationError",
     "UnsupportedFaultSite",
+    "UnsupportedTopology",
 ]
 
 
@@ -147,6 +148,34 @@ class UnsupportedFaultSite(ReproError, ValueError):
         self.model = model
         #: the unsupported site kinds in the plan (e.g. ``("router",)``)
         self.site_kinds = tuple(site_kinds)
+
+
+class UnsupportedTopology(ReproError, ValueError):
+    """The selected network model cannot run the configured topology.
+
+    The flit-level fabrics (event and vector engines) hard-wire the
+    5-port mesh router (LOCAL/N/E/S/W) and XY routing; a config naming a
+    non-mesh ``NocConfig.topology`` is refused up front — with the model
+    and topology named — rather than silently routed as a mesh.
+    (``ValueError`` stays a base so generic config-validation handlers
+    keep catching it.)
+    """
+
+    def __init__(
+        self,
+        message: str = "topology unsupported by this network model",
+        *,
+        model: Optional[str] = None,
+        topology: Optional[str] = None,
+        supported: Tuple[str, ...] = ("mesh",),
+    ):
+        super().__init__(message)
+        #: the refusing network model (e.g. ``"flit/vector"``)
+        self.model = model
+        #: the requested topology axis value (e.g. ``"torus"``)
+        self.topology = topology
+        #: topologies this model can run
+        self.supported = tuple(supported)
 
 
 class RunTimeout(ReproError):

@@ -85,6 +85,12 @@ class RunSpec:
     #: coherence protocol variant (``moesi`` / ``msi`` / ``mesi``);
     #: ``None`` keeps whatever ``config`` carries (MOESI by default)
     protocol: Optional[str] = None
+    #: NoC topology (``mesh`` / ``torus`` / ``ring``); ``None`` keeps
+    #: whatever ``config`` carries (the paper's mesh by default)
+    topology: Optional[str] = None
+    #: output-port arbiter (``rr`` / ``wrr``); ``None`` keeps whatever
+    #: ``config`` carries (round-robin by default)
+    arbiter: Optional[str] = None
 
     def __post_init__(self):
         # normalize so equal specs hash equally regardless of the
@@ -116,10 +122,17 @@ class RunSpec:
         return self.benchmark == MICROBENCH
 
     def resolved_config(self) -> SystemConfig:
-        """The effective config: base (or defaults) + protocol + mechanism."""
+        """The effective config: base (or defaults) + axes + mechanism."""
         base = self.config or SystemConfig()
         if self.protocol is not None and self.protocol != base.protocol:
             base = replace(base, protocol=self.protocol)
+        noc_updates = {}
+        if self.topology is not None and self.topology != base.noc.topology:
+            noc_updates["topology"] = self.topology
+        if self.arbiter is not None and self.arbiter != base.noc.arbiter:
+            noc_updates["arbiter"] = self.arbiter
+        if noc_updates:
+            base = base.with_overrides(noc=noc_updates)
         if self.mechanism is None:
             return base
         return base.with_mechanism(self.mechanism)
@@ -159,7 +172,7 @@ class RunSpec:
         if self.config is not None:
             out["config"] = config_to_dict(self.config)
         for name in ("cs_per_thread", "cs_cycles", "parallel_cycles",
-                     "watchdog_cycles", "protocol"):
+                     "watchdog_cycles", "protocol", "topology", "arbiter"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -218,6 +231,19 @@ class RunSpec:
         # addresses itself (distinct cache entries, honest provenance)
         if payload["config"]["noc"].get("flit_engine") == "event":
             del payload["config"]["noc"]["flit_engine"]
+        # topology/arbiter axes, same elide-the-default convention; WRR
+        # weights are inert under the default round-robin arbiter, so
+        # they only address themselves when the WRR arbiter reads them
+        noc = payload["config"]["noc"]
+        if noc.get("topology") == "mesh":
+            del noc["topology"]
+        if noc.get("arbiter") == "rr":
+            del noc["arbiter"]
+            noc.pop("wrr_weights", None)
+        # big-router placement: the paper's evenly-spread deployment is
+        # the pre-axis behaviour, so the default keeps fingerprints
+        if payload["config"]["inpg"].get("placement") == "spread":
+            del payload["config"]["inpg"]["placement"]
         if self.is_microbench:
             payload["workload"] = self.microbench_params()
         # robustness knobs: keys exist only when active so legacy
@@ -245,9 +271,13 @@ class RunSpec:
             f"{self.benchmark}[{mech}/{self.primitive}"
             f" scale={self.scale} seed={self.seed}"
         )
-        proto = self.resolved_config().protocol
-        if proto != "moesi":
-            text += f" protocol={proto}"
+        resolved = self.resolved_config()
+        if resolved.protocol != "moesi":
+            text += f" protocol={resolved.protocol}"
+        if resolved.noc.topology != "mesh":
+            text += f" topology={resolved.noc.topology}"
+        if resolved.noc.arbiter != "rr":
+            text += f" arbiter={resolved.noc.arbiter}"
         if self.fault_plan is not None and self.fault_plan.enabled:
             text += f" faults={self.fault_plan.describe()}"
         return text + "]"

@@ -14,12 +14,16 @@ Module                  Paper content
 ``fig13_primitives``    Figure 13 — iNPG per locking primitive
 ``fig14_deployment``    Figure 14 — big-router deployment sweep
 ``fig15_sensitivity``   Figure 15 — mesh size and table size sweep
+``ablation_lco``        LCO ablation (beyond-paper knobs)
+``ablation_protocol``   protocol family ablation (beyond-paper)
+``ablation_topology``   topology/placement ablation (beyond-paper)
 ======================  ==============================================
 """
 
 from . import (
     ablation_lco,
     ablation_protocol,
+    ablation_topology,
     fig02_lco,
     fig07_synthesis,
     fig08_cs_chars,
@@ -50,6 +54,7 @@ __all__ = [
     "ExperimentOptions",
     "ablation_lco",
     "ablation_protocol",
+    "ablation_topology",
     "benchmarks_for",
     "cached_run",
     "execute",

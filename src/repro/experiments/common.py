@@ -89,6 +89,17 @@ class ExperimentOptions:
     #: coherence protocol variant for every run that does not pin its
     #: own (``moesi`` / ``msi`` / ``mesi``); ``None`` = spec default
     protocol: Optional[str] = None
+    #: NoC topology for every run that does not pin its own
+    #: (``mesh`` / ``torus`` / ``ring``); ``None`` = spec default
+    topology: Optional[str] = None
+    #: output-port arbiter for every run that does not pin its own
+    #: (``rr`` / ``wrr``); ``None`` = spec default
+    arbiter: Optional[str] = None
+    #: flit-level engine (``event`` / ``vector``) for every run whose
+    #: config does not already run flit-level; implies
+    #: ``noc.flit_level``, so mechanisms needing the packet model (iNPG)
+    #: raise their usual structured errors
+    flit_engine: Optional[str] = None
     #: per-run wall-clock budget (seconds); a timed-out run raises
     #: :class:`~repro.errors.RunTimeout` and is never cached
     timeout_s: Optional[float] = None
@@ -118,6 +129,16 @@ class ExperimentOptions:
             updates["check_protocol"] = True
         if self.protocol is not None and spec.protocol is None:
             updates["protocol"] = self.protocol
+        if self.topology is not None and spec.topology is None:
+            updates["topology"] = self.topology
+        if self.arbiter is not None and spec.arbiter is None:
+            updates["arbiter"] = self.arbiter
+        if self.flit_engine is not None:
+            cfg = spec.config or SystemConfig()
+            if not cfg.noc.flit_level:
+                updates["config"] = cfg.with_overrides(
+                    noc={"flit_level": True, "flit_engine": self.flit_engine}
+                )
         return replace(spec, **updates) if updates else spec
 
     def executor_policy(self) -> Dict[str, object]:

@@ -23,11 +23,11 @@ import argparse
 import sys
 import time
 
-from ..cli import execution_parent, executor_from_args, footer_cache_dir
-from ..config import PROTOCOL_NAMES
+from ..cli import axes_parent, execution_parent, executor_from_args, footer_cache_dir
 from . import (
     ablation_lco,
     ablation_protocol,
+    ablation_topology,
     common,
     fig02_lco,
     fig07_synthesis,
@@ -47,6 +47,7 @@ from . import (
 EXPERIMENTS = {
     "ablation": ablation_lco,
     "protocols": ablation_protocol,
+    "topologies": ablation_topology,
     "table1": table1_config,
     "fig2": fig02_lco,
     "fig7": fig07_synthesis,
@@ -69,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="inpg-experiments",
         description="Regenerate the iNPG paper's tables and figures.",
-        parents=[execution_parent()],
+        parents=[execution_parent(), axes_parent()],
     )
     parser.add_argument(
         "experiment",
@@ -88,12 +89,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="workload scale factor (default 1.0)",
-    )
-    parser.add_argument(
-        "--protocol", default=None, choices=list(PROTOCOL_NAMES),
-        help="coherence protocol variant for every run (default: the "
-             "paper's directory MOESI; the 'protocols' experiment "
-             "sweeps all variants unless this pins one)",
     )
     parser.add_argument(
         "--check-protocol", action="store_true",
@@ -149,6 +144,9 @@ def main(argv=None) -> int:
         quick=not args.full,
         scale=args.scale,
         protocol=args.protocol,
+        topology=args.topology,
+        arbiter=args.arbiter,
+        flit_engine=args.flit_engine,
         check_protocol=args.check_protocol,
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

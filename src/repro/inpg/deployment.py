@@ -2,17 +2,27 @@
 
 The paper's default deploys 32 big routers interleaved with 32 normal ones
 on the 8x8 mesh (Figure 3) and sweeps 0/4/16/32/64 big routers distributed
-evenly on the chip (Section 5.2.6).
+evenly on the chip (Section 5.2.6) — but leaves *where* to put them as an
+open question.  The strategies here make that a swept axis
+(``InpgConfig.placement``), and all of them work on any
+:class:`~repro.noc.topology.Topology` (the addressing scheme is shared;
+``center``/``perimeter`` rank nodes by the topology's own hop metric):
+
+* ``spread`` — :func:`evenly_spread_nodes`, the paper's deployment;
+* ``center`` — the most central nodes (minimal total hop distance);
+* ``perimeter`` — the least central nodes.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import TYPE_CHECKING, FrozenSet
 
-from ..noc.topology import Mesh
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import InpgConfig
+    from ..noc.topology import Mesh, Topology
 
 
-def interleaved_nodes(mesh: Mesh) -> FrozenSet[int]:
+def interleaved_nodes(mesh: "Mesh") -> FrozenSet[int]:
     """Checkerboard pattern: every other tile hosts a big router (Fig. 3)."""
     nodes = set()
     for node in range(mesh.num_nodes):
@@ -42,3 +52,52 @@ def evenly_spread_nodes(mesh: Mesh, count: int) -> FrozenSet[int]:
         return interleaved_nodes(mesh)
     stride = total / count
     return frozenset(int(stride / 2 + i * stride) for i in range(count))
+
+
+def _centrality_order(topo: "Topology") -> list:
+    """Node ids by ascending total hop distance to all nodes (ties by id).
+
+    On the mesh this ranks the geometric center first; on the torus every
+    node is equally central and the order degenerates to node id; on the
+    ring it likewise collapses to id order — placement differences then
+    come purely from the spread pattern, which is the observation the
+    ``topologies`` ablation quantifies.
+    """
+    total = topo.num_nodes
+    cost = [
+        (sum(topo.hop_distance(node, other) for other in range(total)), node)
+        for node in range(total)
+    ]
+    return [node for _, node in sorted(cost)]
+
+
+def central_nodes(topo: "Topology", count: int) -> FrozenSet[int]:
+    """The ``count`` most central nodes of the topology."""
+    if count < 0 or count > topo.num_nodes:
+        raise ValueError(
+            f"cannot place {count} big routers on {topo.num_nodes} nodes"
+        )
+    return frozenset(_centrality_order(topo)[:count])
+
+
+def perimeter_nodes(topo: "Topology", count: int) -> FrozenSet[int]:
+    """The ``count`` least central nodes of the topology."""
+    if count < 0 or count > topo.num_nodes:
+        raise ValueError(
+            f"cannot place {count} big routers on {topo.num_nodes} nodes"
+        )
+    if count == 0:
+        return frozenset()
+    return frozenset(_centrality_order(topo)[-count:])
+
+
+def place_big_routers(topo: "Topology", inpg: "InpgConfig") -> FrozenSet[int]:
+    """Resolve ``InpgConfig`` (count + placement strategy) to node ids."""
+    count = min(inpg.num_big_routers, topo.num_nodes)
+    if inpg.placement == "spread":
+        return evenly_spread_nodes(topo, count)
+    if inpg.placement == "center":
+        return central_nodes(topo, count)
+    if inpg.placement == "perimeter":
+        return perimeter_nodes(topo, count)
+    raise ValueError(f"unknown placement {inpg.placement!r}")

@@ -1,20 +1,32 @@
-"""Network-on-chip substrate: mesh, XY routing, routers, fabric.
+"""Network-on-chip substrate: topologies, routing, routers, fabric.
 
 Two fidelity levels: the packet-granularity :class:`Network` used by the
-full system, and the flit-level validation model — itself available as
-two bit-exact engines, the event-driven reference
-(:mod:`repro.noc.flitsim`) and the cycle-batched vector engine
-(:mod:`repro.noc.vecflit`); :func:`make_flit_network` selects one by
-name.  Synthetic traffic patterns and load sweeps live in
+full system (any :class:`Topology`: mesh, torus, ring — selected by the
+``NocConfig.topology`` axis via :func:`make_topology`), and the
+flit-level validation model — itself available as two bit-exact
+mesh-only engines, the event-driven reference (:mod:`repro.noc.flitsim`)
+and the cycle-batched vector engine (:mod:`repro.noc.vecflit`);
+:func:`make_flit_network` selects one by name.  Output-port arbitration
+is selectable per the ``NocConfig.arbiter`` axis (:class:`OutputPort`
+round-robin or :mod:`repro.noc.arbiter` weighted round-robin).
+Synthetic traffic patterns and load sweeps live in
 :mod:`repro.noc.traffic`.
 """
 
+from .arbiter import WeightedRoundRobinArbiter, WrrOutputPort
 from .flitsim import FlitNetwork, FlitPacket, FlitRouter
 from .network import Network
 from .packet import Packet
 from .port import OutputPort
 from .router import CONTINUE, STOPPED, Router
-from .topology import Mesh
+from .topology import (
+    TOPOLOGY_CLASSES,
+    Mesh,
+    Ring,
+    Topology,
+    Torus,
+    make_topology,
+)
 from .traffic import (
     PATTERNS,
     TrafficResult,
@@ -39,12 +51,19 @@ __all__ = [
     "OutputPort",
     "PATTERNS",
     "Packet",
+    "Ring",
     "Router",
     "STOPPED",
+    "TOPOLOGY_CLASSES",
+    "Topology",
+    "Torus",
     "TrafficResult",
     "VectorFlitFabric",
     "VectorFlitNetwork",
+    "WeightedRoundRobinArbiter",
+    "WrrOutputPort",
     "latency_load_curve",
     "make_flit_network",
+    "make_topology",
     "run_packet_traffic",
 ]

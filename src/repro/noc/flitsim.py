@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import NocConfig
+from ..errors import UnsupportedTopology
 from ..sim import Component, Simulator
 from .topology import Mesh
 
@@ -305,6 +306,17 @@ class FlitNetwork(Component):
 
     def __init__(self, sim: Simulator, config: NocConfig):
         super().__init__(sim, "flitnet")
+        if config.topology != "mesh":
+            # the 5 fixed ports (LOCAL/N/E/S/W) and the XY route
+            # computation below are mesh-shaped; other fabrics run on
+            # the packet-level model.
+            raise UnsupportedTopology(
+                f"the event flit engine models the 5-port mesh router "
+                f"only; topology {config.topology!r} requires the "
+                f"packet-level network",
+                model="flit/event",
+                topology=config.topology,
+            )
         self.config = config
         self.mesh = Mesh(config.width, config.height)
         self.routers: Dict[int, FlitRouter] = {

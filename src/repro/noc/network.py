@@ -13,8 +13,9 @@ from typing import Callable, Dict, Optional
 from ..config import NocConfig
 from ..sim import Component, Simulator
 from .packet import Packet
+from .port import OutputPort
 from .router import Router
-from .topology import Mesh
+from .topology import make_topology
 
 #: endpoint callback signature: (packet) -> None
 EndpointHandler = Callable[[Packet], None]
@@ -23,7 +24,13 @@ RouterFactory = Callable[[Simulator, int, "Network"], Router]
 
 
 class Network(Component):
-    """An XY-routed mesh network of (possibly heterogeneous) routers."""
+    """A packet-level network of (possibly heterogeneous) routers.
+
+    The fabric shape and routing come from the ``NocConfig.topology``
+    axis (mesh/torus/ring, :mod:`repro.noc.topology`); output-port
+    arbitration from ``NocConfig.arbiter`` (rr/wrr).  The default pair
+    is the paper's XY-routed mesh with VC-priority round-robin.
+    """
 
     #: trace emitter; rebound by ``repro.obs.Observation.attach``.  Left as
     #: ``None`` on untraced runs so the hot paths pay a single identity test.
@@ -45,8 +52,13 @@ class Network(Component):
     ):
         super().__init__(sim, "network")
         self.config = config
-        self.mesh = Mesh(config.width, config.height)
+        #: the fabric topology (``config.topology``); the attribute keeps
+        #: its historical name — every call site reads ``network.mesh``
+        #: and the default topology still is the paper's mesh.
+        self.mesh = make_topology(config.topology, config.width, config.height)
+        self.topology = self.mesh
         self.priority_arbitration = priority_arbitration
+        self._wrr = config.arbiter == "wrr"
         #: when True every packet records its full per-router trace (a
         #: debugging/stats aid); hop counts are maintained regardless.
         self.record_traces = record_traces
@@ -68,6 +80,23 @@ class Network(Component):
         self.packets_dropped = 0
         self.total_latency = 0
         self.total_hops = 0
+        #: wraparound-link crossings that escalated a packet to its
+        #: dateline VC class (torus/ring only; always 0 on the mesh)
+        self.dateline_crossings = 0
+
+    # ------------------------------------------------------------------
+    # Port construction (router output ports, per the arbiter axis)
+    # ------------------------------------------------------------------
+    def make_port(self, name: str) -> OutputPort:
+        """Build one router output port per the ``arbiter`` axis."""
+        if self._wrr:
+            from .arbiter import WrrOutputPort
+
+            return WrrOutputPort(
+                self.sim, name, self.priority_arbitration,
+                self.config.wrr_weights,
+            )
+        return OutputPort(self.sim, name, self.priority_arbitration)
 
     # ------------------------------------------------------------------
     # Endpoints

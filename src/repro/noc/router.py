@@ -47,17 +47,27 @@ class Router(Component):
         cfg = network.config
         self.pipeline_cycles = cfg.router_pipeline_cycles
         self.link_cycles = cfg.link_cycles
-        priority_aware = network.priority_arbitration
-        #: one output port per neighbour + one ejection port to the local NI.
+        #: one output port per neighbour + one ejection port to the local
+        #: NI; the network builds them per the ``arbiter`` axis.
         self.ports: Dict[int, OutputPort] = {}
         for neighbor in network.mesh.neighbors(node):
-            self.ports[neighbor] = OutputPort(
-                sim, f"router{node}->r{neighbor}", priority_aware
+            self.ports[neighbor] = network.make_port(
+                f"router{node}->r{neighbor}"
             )
-        self.ports[node] = OutputPort(sim, f"router{node}->local", priority_aware)
+        self.ports[node] = network.make_port(f"router{node}->local")
         self.packets_seen = 0
-        #: row[dst] -> next node on the XY path (shared, precomputed)
-        self._hop_row = network.mesh.next_hop_row(node)
+        #: row[dst] -> next node on the routing path (shared, precomputed)
+        topo = network.mesh
+        self._hop_row = topo.next_hop_row(node)
+        if topo.has_datelines:
+            #: row[dst] -> the hop toward dst wraps around a dateline
+            self._dateline_row = tuple(
+                hop != node and topo.crosses_dateline(node, hop)
+                for hop in self._hop_row
+            )
+            # instance-level rebind: only wraparound topologies pay the
+            # dateline check; the mesh datapath is untouched.
+            self._route = self._route_dateline
         #: subclasses that override inspect() pay for the hook; the base
         #: router skips the call entirely.
         self._inspects = type(self).inspect is not Router.inspect
@@ -160,6 +170,23 @@ class Router(Component):
 
     def _route(self, packet: Packet) -> None:
         request, on_granted = self._dest[packet.dst]
+        request(packet, on_granted)
+
+    def _route_dateline(self, packet: Packet) -> None:
+        """Route variant for wraparound topologies (torus/ring).
+
+        A packet whose next hop crosses a dateline escalates once to the
+        dateline VC class (``vnet + 2``) — the model of the dateline
+        virtual channels that break the ring channel-dependency cycle
+        (DESIGN.md §15).  Installed as an instance attribute by
+        ``__init__`` so mesh routers never test for datelines.
+        """
+        dst = packet.dst
+        if self._dateline_row[dst]:
+            self.network.dateline_crossings += 1
+            if packet.vnet < 2:
+                packet.vnet += 2
+        request, on_granted = self._dest[dst]
         request(packet, on_granted)
 
     def _eject(self, packet: Packet) -> None:

@@ -1,4 +1,4 @@
-"""Mesh topology and XY dimension-order routing.
+"""Topologies and routing functions for the packet-level NoC.
 
 The paper's platform is an 8x8 mesh with XY routing (Table 1, Figure 3):
 packets first travel along the X dimension to the destination column, then
@@ -6,52 +6,255 @@ along Y.  XY routing is deterministic and deadlock-free, which also makes
 the path of every lock request predictable — the property iNPG exploits
 when placing big routers.
 
+This module abstracts that pair behind a :class:`Topology` /
+:class:`RoutingFunction` interface so the placement question the paper
+leaves open can be swept across fabrics:
+
+* :class:`Mesh` — the paper's platform, XY dimension-order routing.
+* :class:`Torus` — mesh plus wraparound links in both dimensions;
+  shortest-direction XY routing with dateline virtual channels for
+  deadlock freedom (see DESIGN.md §15).
+* :class:`Ring` — all N nodes on one bidirectional ring addressed by
+  node id; shortest-direction routing, one dateline between the last
+  and first node.
+
 Routing is table-driven: every ``(width, height)`` shape builds its
 coordinate table once and next-hop rows on first use, shared process-wide
-across all :class:`Mesh` instances of that shape (a fig12 sweep builds
-hundreds of 8x8 meshes).  ``next_hop`` is then two tuple lookups with no
-arithmetic on the router hot path.
+across all instances of that topology class and shape (a fig12 sweep
+builds hundreds of 8x8 meshes).  ``next_hop`` is then two tuple lookups
+with no arithmetic on the router hot path.  Caches are **per topology
+class** — a torus row can never leak into a mesh of the same shape.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
 
+#: (width, height) -> (coords table, {node -> next-hop row})
+_ShapeCache = Dict[
+    Tuple[int, int],
+    Tuple[Tuple[Tuple[int, int], ...], Dict[int, Tuple[int, ...]]],
+]
 
-class Mesh:
-    """A ``width`` x ``height`` mesh of routers addressed 0..N-1 row-major."""
 
-    #: (width, height) -> (coords table, {node -> next-hop row})
-    _SHAPE_CACHE: Dict[
-        Tuple[int, int],
-        Tuple[Tuple[Tuple[int, int], ...], Dict[int, Tuple[int, ...]]],
-    ] = {}
+class RoutingFunction:
+    """Computes deterministic per-source next-hop rows for a topology.
+
+    A routing function is stateless: :meth:`compute_row` maps a source
+    node to the tuple ``row`` where ``row[dst]`` is the next node on the
+    path toward ``dst`` (``row[src] == src``).  The topology caches rows
+    per shape, so this runs once per (class, shape, source) per process.
+    """
+
+    name = "?"
+
+    def compute_row(self, topo: "Topology", current: int) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+
+class XYRouting(RoutingFunction):
+    """Dimension-order routing: correct X first, then Y (mesh)."""
+
+    name = "xy"
+
+    def compute_row(self, topo: "Topology", current: int) -> Tuple[int, ...]:
+        cx, cy = topo.coords(current)
+        width = topo.width
+        hops = []
+        for dst in range(topo.num_nodes):
+            dx, dy = topo._coords[dst]
+            if cx != dx:
+                hops.append(cy * width + cx + (1 if dx > cx else -1))
+            elif cy != dy:
+                hops.append((cy + (1 if dy > cy else -1)) * width + cx)
+            else:
+                hops.append(current)
+        return tuple(hops)
+
+
+class TorusXYRouting(RoutingFunction):
+    """Dimension-order routing with per-dimension shortest direction.
+
+    Each dimension is a ring: travel the direction with fewer hops,
+    breaking exact ties toward increasing coordinate (deterministic).
+    X is still fully corrected before Y (dimension order), so routes
+    stay deterministic and minimal.
+    """
+
+    name = "torus-xy"
+
+    @staticmethod
+    def _step(c: int, d: int, size: int) -> int:
+        """Next coordinate from ``c`` toward ``d`` on a ring of ``size``."""
+        forward = (d - c) % size
+        backward = (c - d) % size
+        if forward <= backward:
+            return (c + 1) % size
+        return (c - 1) % size
+
+    def compute_row(self, topo: "Topology", current: int) -> Tuple[int, ...]:
+        cx, cy = topo.coords(current)
+        width, height = topo.width, topo.height
+        hops = []
+        for dst in range(topo.num_nodes):
+            dx, dy = topo._coords[dst]
+            if cx != dx:
+                hops.append(cy * width + self._step(cx, dx, width))
+            elif cy != dy:
+                hops.append(self._step(cy, dy, height) * width + cx)
+            else:
+                hops.append(current)
+        return tuple(hops)
+
+
+class RingRouting(RoutingFunction):
+    """Shortest-direction routing on one bidirectional ring of node ids.
+
+    Ties (exactly opposite nodes on an even-sized ring) break toward
+    increasing node id, deterministically.
+    """
+
+    name = "ring-shortest"
+
+    def compute_row(self, topo: "Topology", current: int) -> Tuple[int, ...]:
+        n = topo.num_nodes
+        hops = []
+        for dst in range(n):
+            if dst == current:
+                hops.append(current)
+                continue
+            forward = (dst - current) % n
+            backward = (current - dst) % n
+            if forward <= backward:
+                hops.append((current + 1) % n)
+            else:
+                hops.append((current - 1) % n)
+        return tuple(hops)
+
+
+class Topology:
+    """A ``width`` x ``height`` fabric of routers addressed 0..N-1 row-major.
+
+    Concrete topologies define adjacency (:meth:`neighbors`), the metric
+    (:meth:`hop_distance`) and, when links wrap around, the dateline
+    predicate (:meth:`crosses_dateline`).  Routing is delegated to the
+    class's :class:`RoutingFunction` and memoized in a per-class,
+    process-wide shape cache.
+    """
+
+    #: axis value (``NocConfig.topology``); set by concrete subclasses.
+    name = "?"
+    #: the routing function instance shared by all shapes of this class.
+    routing: RoutingFunction = RoutingFunction()
+    #: True when some links wrap around and packets need dateline VCs to
+    #: break the channel-dependency cycle (torus, ring).
+    has_datelines = False
+
+    _SHAPE_CACHE: _ShapeCache = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # every concrete topology gets its own shape cache: rows are
+        # keyed per (class, shape) and can never leak across classes.
+        cls._SHAPE_CACHE = {}
 
     def __init__(self, width: int, height: int):
         if width < 1 or height < 1:
-            raise ValueError("mesh dimensions must be positive")
+            raise ValueError("topology dimensions must be positive")
         self.width = width
         self.height = height
         self.num_nodes = width * height
-        cached = Mesh._SHAPE_CACHE.get((width, height))
+        cache = type(self)._SHAPE_CACHE
+        cached = cache.get((width, height))
         if cached is None:
             coords = tuple(
                 (node % width, node // width) for node in range(self.num_nodes)
             )
             cached = (coords, {})
-            Mesh._SHAPE_CACHE[(width, height)] = cached
+            cache[(width, height)] = cached
         self._coords, self._hop_rows = cached
 
+    # ------------------------------------------------------------------
+    # Addressing (identical row-major scheme for every topology)
+    # ------------------------------------------------------------------
     def coords(self, node: int) -> Tuple[int, int]:
         """(x, y) of ``node``; raises for out-of-range ids."""
         if not 0 <= node < self.num_nodes:
-            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+            raise ValueError(
+                f"node {node} outside {self.name} of {self.num_nodes}"
+            )
         return self._coords[node]
 
     def node_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.width and 0 <= y < self.height):
-            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+            raise ValueError(
+                f"({x},{y}) outside {self.width}x{self.height} {self.name}"
+            )
         return y * self.width + x
+
+    # ------------------------------------------------------------------
+    # Structure (per topology)
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Adjacent node ids (each physical link once, no self-loops)."""
+        raise NotImplementedError
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        raise NotImplementedError
+
+    def crosses_dateline(self, current: int, nxt: int) -> bool:
+        """True when the ``current -> nxt`` link wraps around a dateline.
+
+        Only meaningful for topologies with ``has_datelines``; the base
+        (and the mesh) have no wraparound links.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Routing (table-driven, shared per class+shape)
+    # ------------------------------------------------------------------
+    def next_hop_row(self, current: int) -> Tuple[int, ...]:
+        """Per-source routing row: ``row[dst]`` is the next hop on the
+        path from ``current``.  Built on first use and shared across all
+        instances of this topology class and shape; routers index their
+        row directly."""
+        row = self._hop_rows.get(current)
+        if row is None:
+            self.coords(current)  # range check before caching
+            row = self.routing.compute_row(self, current)
+            self._hop_rows[current] = row
+        return row
+
+    def next_hop(self, current: int, dst: int) -> int:
+        """Next router on the path from ``current`` toward ``dst``."""
+        if not 0 <= dst < self.num_nodes:
+            raise ValueError(
+                f"node {dst} outside {self.name} of {self.num_nodes}"
+            )
+        return self.next_hop_row(current)[dst]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Full path from ``src`` to ``dst``, inclusive of both ends."""
+        self.coords(src)
+        self.coords(dst)
+        path = [src]
+        node = src
+        while node != dst:
+            node = self.next_hop_row(node)[dst]
+            path.append(node)
+            if len(path) > self.num_nodes:  # pragma: no cover - guard
+                raise RuntimeError(
+                    f"{self.name} route {src}->{dst} does not converge"
+                )
+        return path
+
+
+class Mesh(Topology):
+    """The paper's platform: a 2D mesh with XY dimension-order routing."""
+
+    name = "mesh"
+    routing = XYRouting()
 
     def neighbors(self, node: int) -> Iterator[int]:
         """Mesh-adjacent node ids."""
@@ -85,35 +288,116 @@ class Mesh:
             path.append(self.node_at(x, y))
         return path
 
-    def next_hop_row(self, current: int) -> Tuple[int, ...]:
-        """Per-source routing row: ``row[dst]`` is the next hop on the XY
-        path from ``current``.  Built on first use and shared across all
-        meshes of this shape; routers index their row directly."""
-        row = self._hop_rows.get(current)
-        if row is None:
-            cx, cy = self.coords(current)
-            width = self.width
-            hops = []
-            for dst in range(self.num_nodes):
-                dx, dy = self._coords[dst]
-                if cx != dx:
-                    hops.append(cy * width + cx + (1 if dx > cx else -1))
-                elif cy != dy:
-                    hops.append((cy + (1 if dy > cy else -1)) * width + cx)
-                else:
-                    hops.append(current)
-            row = tuple(hops)
-            self._hop_rows[current] = row
-        return row
-
-    def next_hop(self, current: int, dst: int) -> int:
-        """Next router on the XY path from ``current`` toward ``dst``."""
-        if not 0 <= dst < self.num_nodes:
-            raise ValueError(f"node {dst} outside mesh of {self.num_nodes}")
-        return self.next_hop_row(current)[dst]
-
     def hop_distance(self, src: int, dst: int) -> int:
         """Manhattan distance between two nodes."""
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
         return abs(sx - dx) + abs(sy - dy)
+
+
+class Torus(Topology):
+    """A 2D torus: mesh plus wraparound links in both dimensions.
+
+    Shortest-direction XY routing; the wraparound links between the last
+    and first column (and row) are the datelines — a packet crossing one
+    escalates to the dateline VC class (``repro.noc.router``), which
+    breaks the ring channel-dependency cycle.
+    """
+
+    name = "torus"
+    routing = TorusXYRouting()
+    has_datelines = True
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Torus-adjacent node ids (wraparound, each link once)."""
+        x, y = self.coords(node)
+        seen = {node}
+        for nx, ny in (
+            ((x - 1) % self.width, y),
+            ((x + 1) % self.width, y),
+            (x, (y - 1) % self.height),
+            (x, (y + 1) % self.height),
+        ):
+            neighbor = self.node_at(nx, ny)
+            if neighbor not in seen:
+                seen.add(neighbor)
+                yield neighbor
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Per-dimension ring distance, summed."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        ring_x = min((dx - sx) % self.width, (sx - dx) % self.width)
+        ring_y = min((dy - sy) % self.height, (sy - dy) % self.height)
+        return ring_x + ring_y
+
+    def crosses_dateline(self, current: int, nxt: int) -> bool:
+        """True when the hop wraps between the last and first row/column."""
+        cx, cy = self.coords(current)
+        nx, ny = self.coords(nxt)
+        if cx != nx and abs(cx - nx) == self.width - 1:
+            return self.width > 2
+        if cy != ny and abs(cy - ny) == self.height - 1:
+            return self.height > 2
+        return False
+
+
+class Ring(Topology):
+    """All ``width * height`` nodes on one bidirectional ring, by node id.
+
+    The shape is kept as ``(width, height)`` purely for addressing
+    compatibility (``coords``/``node_at`` keep the row-major scheme that
+    memory interleaving and placement use); the physical links form a
+    single ring ``0 - 1 - ... - N-1 - 0``.  The ``N-1 <-> 0`` link is the
+    dateline.
+    """
+
+    name = "ring"
+    routing = RingRouting()
+    has_datelines = True
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """The two ring neighbours (one for N == 2, none for N == 1)."""
+        self.coords(node)
+        n = self.num_nodes
+        if n == 1:
+            return
+        seen = {node}
+        for neighbor in ((node - 1) % n, (node + 1) % n):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                yield neighbor
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Shortest-direction ring distance."""
+        self.coords(src)
+        self.coords(dst)
+        n = self.num_nodes
+        return min((dst - src) % n, (src - dst) % n)
+
+    def crosses_dateline(self, current: int, nxt: int) -> bool:
+        """True when the hop uses the ``N-1 <-> 0`` wraparound link."""
+        n = self.num_nodes
+        if n <= 2:
+            return False
+        return {current, nxt} == {0, n - 1}
+
+
+#: axis value -> topology class; the config axis ``TOPOLOGIES`` mirrors
+#: these keys (pinned by tests/test_topology_family.py).
+TOPOLOGY_CLASSES: Dict[str, type] = {
+    Mesh.name: Mesh,
+    Torus.name: Torus,
+    Ring.name: Ring,
+}
+
+
+def make_topology(name: str, width: int, height: int) -> Topology:
+    """Instantiate the topology named by the ``NocConfig.topology`` axis."""
+    cls = TOPOLOGY_CLASSES.get(str(name).lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from "
+            f"{tuple(sorted(TOPOLOGY_CLASSES))}"
+        )
+    return cls(width, height)

@@ -78,6 +78,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import NocConfig
+from ..errors import UnsupportedTopology
 from ..sim import Component, Simulator
 from .flitsim import LOCAL, _REVERSE
 from .packet import Packet
@@ -175,6 +176,16 @@ class VectorFlitNetwork:
     def __init__(self, config: NocConfig, sim: Optional[Simulator] = None,
                  on_delivery: Optional[Callable] = None,
                  force_python: bool = False):
+        if config.topology != "mesh":
+            # port-direction arrays below are indexed by the 5 fixed
+            # mesh directions; other fabrics run on the packet model.
+            raise UnsupportedTopology(
+                f"the vector flit engine models the 5-port mesh router "
+                f"only; topology {config.topology!r} requires the "
+                f"packet-level network",
+                model="flit/vector",
+                topology=config.topology,
+            )
         self.config = config
         self.mesh = Mesh(config.width, config.height)
         self.sim = sim

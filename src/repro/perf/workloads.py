@@ -92,14 +92,21 @@ def kernel_chain(total_events: int = 400_000, chains: int = 64) -> WorkloadResul
 # 2. Packet-level NoC
 # ----------------------------------------------------------------------
 def packet_uniform(
-    duration: int = 4_000, injection_rate: float = 0.08, seed: int = 7
+    duration: int = 4_000, injection_rate: float = 0.08, seed: int = 7,
+    topology: str = "mesh", arbiter: str = "rr",
 ) -> WorkloadResult:
-    """Uniform-random traffic on the 8x8 packet-level mesh."""
+    """Uniform-random traffic on the 8x8 packet-level fabric.
+
+    The committed gate numbers always use the default mesh + round-robin
+    pair; ``topology``/``arbiter`` parameterize A/B runs (``inpg-perf``
+    exploration via :func:`with_topology`), which report under a
+    suffixed name so they can never be mistaken for the pinned baseline.
+    """
     from ..noc.traffic import run_packet_traffic
 
     def run():
         result = run_packet_traffic(
-            NocConfig(width=8, height=8),
+            NocConfig(width=8, height=8, topology=topology, arbiter=arbiter),
             "uniform",
             injection_rate=injection_rate,
             duration=duration,
@@ -108,7 +115,10 @@ def packet_uniform(
         )
         return result.sim_events, result.sim_cycles
 
-    return _measure("packet_uniform", run)
+    name = "packet_uniform"
+    if (topology, arbiter) != ("mesh", "rr"):
+        name = f"packet_uniform[{topology}/{arbiter}]"
+    return _measure(name, run)
 
 
 # ----------------------------------------------------------------------
@@ -380,4 +390,23 @@ def with_flit_engine(engine: str) -> Dict[str, Callable[[], WorkloadResult]]:
     out["flit_uniform"] = lambda: flit_uniform(engine=engine)
     out["flit_vector_uniform"] = lambda: flit_vector_uniform(engine=engine)
     out["flit_big_mesh"] = lambda: flit_big_mesh(engine=engine)
+    return out
+
+
+def with_topology(
+    topology: str, arbiter: str = "rr"
+) -> Dict[str, Callable[[], WorkloadResult]]:
+    """A ``WORKLOADS`` view with the packet workload on this fabric.
+
+    Unlike :func:`with_flit_engine` (whose engines are bit-exact), a
+    different topology or arbiter routes different work — event counts
+    move — so this view is exploratory only and the result carries a
+    ``packet_uniform[topology/arbiter]`` name that the pinned gate
+    entries never match.  The flit workloads are mesh-only and stay on
+    their canonical shapes.
+    """
+    out = dict(WORKLOADS)
+    out["packet_uniform"] = lambda: packet_uniform(
+        topology=topology, arbiter=arbiter
+    )
     return out

@@ -23,12 +23,12 @@ from .coherence.memsystem import MemorySystem
 from .cpu.os_model import OsModel
 from .cpu.thread import WorkerThread
 from .inpg.big_router import BigRouter
-from .inpg.deployment import evenly_spread_nodes
+from .inpg.deployment import place_big_routers
 from .locks.base import AddressSpace
 from .locks.factory import make_lock
 from .noc.network import Network
 from .noc.router import Router
-from .noc.topology import Mesh
+from .noc.topology import make_topology
 from .sim import Simulator
 from .stats.metrics import RunResult, ThreadMetrics
 from .stats.timeline import Timeline
@@ -74,9 +74,11 @@ class ManyCoreSystem:
         self.workload = workload
         self.primitive = primitive
         self.sim = Simulator()
-        mesh = Mesh(config.noc.width, config.noc.height)
+        topo = make_topology(
+            config.noc.topology, config.noc.width, config.noc.height
+        )
         big_nodes = (
-            evenly_spread_nodes(mesh, min(config.inpg.num_big_routers, mesh.num_nodes))
+            place_big_routers(topo, config.inpg)
             if config.inpg.enabled
             else frozenset()
         )

@@ -48,6 +48,16 @@ class TestMain:
         assert rc == 0
         assert "[original/ticket]" in capsys.readouterr().out
 
+    def test_topology_and_arbiter_flags_run(self, capsys):
+        rc = main(["vips", "--scale", "0.3", "--topology", "torus",
+                   "--arbiter", "wrr"])
+        assert rc == 0
+        assert "roi_cycles" in capsys.readouterr().out
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vips", "--topology", "hypercube"])
+
     def test_list(self, capsys):
         rc = main(["--list"])
         assert rc == 0
@@ -116,3 +126,47 @@ class TestSharedFlagVocabulary:
     def test_trace_with_remote_rejected(self):
         rc = main(["vips", "--trace", "--remote", "http://127.0.0.1:1"])
         assert rc == 2
+
+    def test_axis_flags_shared_between_sim_and_experiments(self):
+        """All four simulation axes (repro.api.describe_axes) are spelled
+        identically — same flag, same help, same choices — on inpg-sim
+        and inpg-experiments."""
+        from repro.api import describe_axes
+
+        parsers = self._parsers()
+        for name, axis in describe_axes().items():
+            helps, choices = {}, {}
+            for tool in ("inpg-sim", "inpg-experiments"):
+                for action in parsers[tool]._actions:
+                    if axis["flag"] in action.option_strings:
+                        helps[tool] = action.help
+                        choices[tool] = tuple(action.choices)
+                        # axes default to None: "unset" stays
+                        # distinguishable from "explicitly default",
+                        # keeping canonical fingerprints elided
+                        assert action.default is None, (tool, name)
+            assert set(helps) == {"inpg-sim", "inpg-experiments"}, name
+            assert len(set(helps.values())) == 1, (name, helps)
+            assert all(c == axis["choices"] for c in choices.values()), name
+
+    def test_axis_values_survive_the_serve_proto(self):
+        """A spec pinned to every non-default axis value round-trips the
+        serve wire format with an identical fingerprint."""
+        from repro.api import RunSpec, SystemConfig
+        from repro.serve.proto import decode_submit, submit_request
+
+        spec = RunSpec(
+            benchmark="vips", mechanism="inpg", protocol="msi",
+            topology="torus", arbiter="wrr",
+            config=SystemConfig().with_overrides(
+                noc={"wrr_weights": (3, 1)},
+                inpg={"placement": "center"},
+            ),
+        )
+        [decoded], _policy = decode_submit(submit_request([spec]))
+        assert decoded == spec
+        assert decoded.fingerprint == spec.fingerprint
+        resolved = decoded.resolved_config()
+        assert resolved.noc.topology == "torus"
+        assert resolved.noc.arbiter == "wrr"
+        assert resolved.inpg.placement == "center"

@@ -76,6 +76,98 @@ class TestFingerprint:
         assert varied.fingerprint != implicit.fingerprint
 
 
+class TestAxisFingerprints:
+    """Every simulation axis follows one fingerprint convention: the
+    default value is elided (legacy cache keys stay valid), every
+    non-default value addresses itself."""
+
+    BASELINE = RunSpec(benchmark="vips", mechanism="original")
+
+    # (RunSpec field, default value, each non-default value)
+    SPEC_AXES = [
+        ("protocol", "moesi", ("msi", "mesi")),
+        ("topology", "mesh", ("torus", "ring")),
+        ("arbiter", "rr", ("wrr",)),
+    ]
+
+    @pytest.mark.parametrize("field,default,_", SPEC_AXES,
+                             ids=lambda v: str(v))
+    def test_explicit_default_never_changes_fingerprint(
+            self, field, default, _):
+        spec = RunSpec(benchmark="vips", mechanism="original",
+                       **{field: default})
+        assert spec.fingerprint == self.BASELINE.fingerprint
+
+    @pytest.mark.parametrize("field,default,values", SPEC_AXES,
+                             ids=lambda v: str(v))
+    def test_each_non_default_value_addresses_itself(
+            self, field, default, values):
+        prints = {self.BASELINE.fingerprint}
+        for value in values:
+            spec = RunSpec(benchmark="vips", mechanism="original",
+                           **{field: value})
+            prints.add(spec.fingerprint)
+            assert f"{field}={value}" in spec.label()
+        assert len(prints) == 1 + len(values)
+
+    def test_flit_engine_axis_same_convention(self):
+        flit = SystemConfig(noc=NocConfig(flit_level=True))
+        base = RunSpec(benchmark="vips", mechanism="original", config=flit)
+        event = RunSpec(
+            benchmark="vips", mechanism="original",
+            config=flit.with_overrides(noc={"flit_engine": "event"}))
+        vector = RunSpec(
+            benchmark="vips", mechanism="original",
+            config=flit.with_overrides(noc={"flit_engine": "vector"}))
+        assert event.fingerprint == base.fingerprint
+        assert vector.fingerprint != base.fingerprint
+
+    def test_placement_axis_same_convention(self):
+        inpg = RunSpec(benchmark="vips", mechanism="inpg")
+        spread = RunSpec(
+            benchmark="vips", mechanism="inpg",
+            config=SystemConfig().with_overrides(
+                inpg={"enabled": True, "placement": "spread"}))
+        center = RunSpec(
+            benchmark="vips", mechanism="inpg",
+            config=SystemConfig().with_overrides(
+                inpg={"enabled": True, "placement": "center"}))
+        assert spread.fingerprint == inpg.fingerprint
+        assert center.fingerprint != inpg.fingerprint
+
+    def test_wrr_weights_inert_under_default_arbiter(self):
+        # weights only matter once the WRR arbiter reads them
+        weighted = RunSpec(
+            benchmark="vips", mechanism="original",
+            config=SystemConfig().with_overrides(
+                noc={"wrr_weights": (7, 3)}))
+        assert weighted.fingerprint == self.BASELINE.fingerprint
+        wrr_a = RunSpec(benchmark="vips", mechanism="original",
+                        arbiter="wrr")
+        wrr_b = RunSpec(
+            benchmark="vips", mechanism="original", arbiter="wrr",
+            config=SystemConfig().with_overrides(
+                noc={"wrr_weights": (7, 3)}))
+        assert wrr_b.fingerprint != wrr_a.fingerprint
+
+    def test_legacy_payload_shape_is_stable(self):
+        """The canonical payload of a default spec carries none of the
+        axis keys — byte-for-byte the pre-axis cache address."""
+        payload = self.BASELINE.canonical_payload()
+        noc = payload["config"]["noc"]
+        for key in ("topology", "arbiter", "wrr_weights", "flit_engine"):
+            assert key not in noc, key
+        assert "placement" not in payload["config"]["inpg"]
+        assert "protocol" not in payload["config"]
+
+    def test_axis_specs_roundtrip_to_dict(self):
+        spec = RunSpec(benchmark="vips", mechanism="original",
+                       topology="torus", arbiter="wrr")
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint == spec.fingerprint
+
+
 class TestExecutor:
     def test_plan_dedups_identical_specs(self, tmp_path):
         ex = Executor(jobs=1, cache_dir=tmp_path)

@@ -111,6 +111,33 @@ class TestSimulationExperiments:
         for bench, per in result.expedition.items():
             assert per[0] == 1.0
 
+    def test_topologies_ablation_sweeps_every_fabric(self):
+        from repro.experiments import ablation_topology
+
+        result = ablation_topology.run(
+            ExperimentOptions(scale=0.25), benchmarks=("vips",)
+        )
+        assert result.topologies == ("mesh", "torus", "ring")
+        for topo in result.topologies:
+            for placement in result.placements:
+                ratio = result.relative_roi(topo, placement, "vips")
+                assert ratio is not None and ratio > 0
+            assert result.placement_sensitivity(topo) >= 0.0
+        out = result.render()
+        assert "placement sensitivity" in out
+        for topo in ("mesh", "torus", "ring"):
+            assert topo in out
+
+    def test_topologies_ablation_pins_to_one_topology(self):
+        from repro.experiments import ablation_topology
+
+        result = ablation_topology.run(
+            ExperimentOptions(scale=0.25, topology="torus"),
+            benchmarks=("vips",),
+        )
+        assert result.topologies == ("torus",)
+        assert all(key[0] == "torus" for key in result.roi_cycles)
+
     def test_fig15_small_meshes(self):
         from repro.experiments import fig15_sensitivity
         result = fig15_sensitivity.run(

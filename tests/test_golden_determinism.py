@@ -59,6 +59,31 @@ GOLDEN_PROTOCOL_RUNS = {
         ("5f03be31f94724130a22e7325800b3ca", 13336, 9679, 256064),
 }
 
+# topology/arbiter-family pins (same scheme as GOLDEN_RUNS): the torus
+# and ring fabrics and the WRR arbiter are deterministic and do
+# *distinct* work from the mesh/rr default — a topology switch that
+# silently routed as a mesh would reproduce the GOLDEN_RUNS stream and
+# trip these.  Torus finishes earlier (wraparound halves the average
+# hop count), the ring later (linear paths), and WRR keeps the mesh ROI
+# while reordering grants under backlog.
+GOLDEN_TOPOLOGY_RUNS = {
+    ("torus", "bwaves", "original"):
+        ("2ac0d827dd03cb25cb91c0f0ce3f5333", 3783, 1148, 21524),
+    ("torus", "bwaves", "inpg"):
+        ("e62240aa18ac27547983da3c94b78610", 3783, 1180, 22075),
+    ("ring", "bwaves", "original"):
+        ("d690402bf923cbd38cf2ddedaa52cdd2", 6623, 1042, 68884),
+    ("ring", "bwaves", "inpg"):
+        ("783b86917c297245bef488fe76f8afb5", 6623, 1047, 69633),
+}
+
+GOLDEN_ARBITER_RUNS = {
+    ("wrr", "bwaves", "original"):
+        ("d458b5e3988ce3589cd8d650d6cab0c1", 4184, 1155, 26426),
+    ("wrr", "bwaves", "inpg"):
+        ("30007f6d38a80ab61d4c20f30a5f96d6", 4184, 1157, 26535),
+}
+
 # dir_invalidation_storm per protocol (load-first rounds, so the MESI
 # exclusive grant fires and all three streams diverge).
 GOLDEN_PROTOCOL_STORM = {
@@ -227,6 +252,51 @@ class TestGoldenProtocolFamily:
             GOLDEN_RUNS[("bwaves", "original")]
         storm_pins = set(GOLDEN_PROTOCOL_STORM.values())
         assert len(storm_pins) == len(GOLDEN_PROTOCOL_STORM)
+
+
+class TestGoldenTopologyFamily:
+    """Torus, ring and the WRR arbiter are deterministic, pinned, and do
+    distinct work from the mesh/round-robin default."""
+
+    @staticmethod
+    def _config(**noc):
+        from repro.config import SystemConfig
+
+        return SystemConfig().with_overrides(noc=noc)
+
+    @pytest.mark.parametrize(
+        "topology,bench,mechanism", sorted(GOLDEN_TOPOLOGY_RUNS),
+        ids="/".join,
+    )
+    def test_pinned_topology_fingerprint(self, topology, bench, mechanism):
+        assert fingerprint_run(
+            bench, mechanism, config=self._config(topology=topology)
+        ) == GOLDEN_TOPOLOGY_RUNS[(topology, bench, mechanism)]
+
+    @pytest.mark.parametrize(
+        "arbiter,bench,mechanism", sorted(GOLDEN_ARBITER_RUNS), ids="/".join
+    )
+    def test_pinned_arbiter_fingerprint(self, arbiter, bench, mechanism):
+        assert fingerprint_run(
+            bench, mechanism, config=self._config(arbiter=arbiter)
+        ) == GOLDEN_ARBITER_RUNS[(arbiter, bench, mechanism)]
+
+    def test_fabrics_do_distinct_work(self):
+        """Each topology's delivery stream is unique, and the WRR pins
+        differ from round-robin's even where the ROI coincides."""
+        md5s = {GOLDEN_RUNS[("bwaves", "original")][0]}
+        for key in (("torus", "bwaves", "original"),
+                    ("ring", "bwaves", "original")):
+            md5s.add(GOLDEN_TOPOLOGY_RUNS[key][0])
+        md5s.add(GOLDEN_ARBITER_RUNS[("wrr", "bwaves", "original")][0])
+        assert len(md5s) == 4
+
+    def test_torus_back_to_back_identical(self):
+        """The dateline path and per-class shape caches hold no hidden
+        cross-run state."""
+        config = self._config(topology="torus")
+        assert fingerprint_run("bwaves", "original", config=config) == \
+            fingerprint_run("bwaves", "original", config=config)
 
 
 class TestGoldenFlit:
