@@ -27,7 +27,7 @@ def pytest_addoption(parser):
     parser.addoption(
         "--flit-engine",
         default=os.environ.get("REPRO_FLIT_ENGINE", "event"),
-        choices=("event", "vector"),
+        choices=("event", "vector", "sharded"),
         help="engine the flit-level NoC benches construct their "
              "networks with (default: event, or REPRO_FLIT_ENGINE)",
     )

@@ -23,7 +23,13 @@ import argparse
 import sys
 import time
 
-from ..cli import axes_parent, execution_parent, executor_from_args, footer_cache_dir
+from ..cli import (
+    axes_parent,
+    execution_parent,
+    executor_from_args,
+    footer_cache_dir,
+    resolve_shards,
+)
 from . import (
     ablation_lco,
     ablation_protocol,
@@ -126,6 +132,12 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    shards = resolve_shards(args)
+    if shards > 1 and args.flit_engine != "sharded":
+        print("error: --shards > 1 requires --flit-engine sharded "
+              f"(got {args.flit_engine or 'packet-level default'})",
+              file=sys.stderr)
+        return 2
     traced = args.trace or args.trace_out is not None
     observe_factory = None
     if traced:
@@ -147,6 +159,7 @@ def main(argv=None) -> int:
         topology=args.topology,
         arbiter=args.arbiter,
         flit_engine=args.flit_engine,
+        shards=shards if shards > 1 else None,
         check_protocol=args.check_protocol,
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -380,6 +380,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.workloads:
         names = list(args.workloads)
+        # validate the whole selection up front: a typo'd name must not
+        # surface as a traceback after minutes of earlier measurements
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            print(
+                f"error: unknown workload(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(WORKLOADS))}",
+                file=sys.stderr,
+            )
+            return 2
     elif args.quick:
         names = list(QUICK_WORKLOADS)
     else:
